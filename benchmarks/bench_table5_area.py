@@ -1,0 +1,21 @@
+"""Table V — per-benchmark area, structural flow vs. state-based baseline."""
+
+from __future__ import annotations
+
+from repro.experiments.table5 import table5_rows
+
+
+def test_table5_area_comparison(benchmark, print_table):
+    """Regenerate Table V over the classic benchmark suite."""
+    rows = benchmark.pedantic(table5_rows, iterations=1, rounds=1)
+    print_table(rows, title="Table V — area comparison (literals / mapped area)")
+    totals = rows[-1]
+    assert totals["benchmark"] == "TOTAL"
+    # Every synthesized circuit is speed independent.
+    assert totals["base_SI"] and totals["s3c_SI"]
+    # The structural flow stays within a small constant factor of the fully
+    # state-based minimizer (the paper reports comparable or better area
+    # against prior tools; our baseline is an idealized exact minimizer).
+    assert totals["s3c_full_lits"] <= 2.0 * totals["base_lits"]
+    # Full minimization is never worse than the level-3 flow.
+    assert totals["s3c_full_lits"] <= totals["s3c_lits"]

@@ -1,0 +1,29 @@
+"""Table VI — CPU time, structural vs. state-based, on large-RG STGs."""
+
+from __future__ import annotations
+
+from repro.benchmarks import scalable
+from repro.experiments.table6 import table6_rows
+
+
+def test_table6_cpu_comparison(benchmark, print_table):
+    """Regenerate Table VI (reduced sizes keep the harness fast; the full
+    sweep including the 10^27-marking instance runs in the same code path)."""
+    cases = [
+        ("independent_cells_5", lambda: scalable.independent_cells(5), 4 ** 5),
+        ("independent_cells_8", lambda: scalable.independent_cells(8), 4 ** 8),
+        ("independent_cells_20", lambda: scalable.independent_cells(20), 4 ** 20),
+        ("independent_cells_45", lambda: scalable.independent_cells(45), 4 ** 45),
+        ("muller_pipeline_8", lambda: scalable.muller_pipeline(8), None),
+        ("muller_pipeline_16", lambda: scalable.muller_pipeline(16), None),
+    ]
+    rows = benchmark.pedantic(
+        table6_rows, args=(cases,), kwargs={"baseline_limit": 50_000},
+        iterations=1, rounds=1,
+    )
+    print_table(rows, title="Table VI — CPU time: structural vs state-based")
+    # The structural flow completes on every instance, including the ones
+    # whose state space the baseline cannot enumerate.
+    assert all(isinstance(row["structural_s"], float) for row in rows)
+    blowups = [row for row in rows if row["statebased_s"] == "blow-up"]
+    assert blowups, "expected at least one state-based blow-up row"

@@ -1,0 +1,25 @@
+"""Table VII — CPU time for the scalable examples (philosophers, pipelines)."""
+
+from __future__ import annotations
+
+from repro.experiments.table7 import table7_rows
+
+
+def test_table7_scalable_examples(benchmark, print_table):
+    """Regenerate Table VII with moderate instance sizes."""
+    rows = benchmark.pedantic(
+        table7_rows,
+        kwargs={
+            "philosophers": (3, 4),
+            "pipelines": (4, 8, 16),
+            "baseline_limit": 50_000,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_table(rows, title="Table VII — CPU time: scalable examples")
+    structural_times = [row["structural_s"] for row in rows]
+    assert all(isinstance(t, float) for t in structural_times)
+    # structural synthesis of the largest pipeline stays fast (well under a
+    # minute even on modest hardware; the paper reports seconds as well)
+    assert max(structural_times) < 60.0

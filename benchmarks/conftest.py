@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one table or figure of the paper's evaluation
+section; the resulting rows are printed so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the reproduced tables alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    """Print a reproduced table (always emitted, even without ``-s``,
+    via the terminal reporter at the end of the run)."""
+    emitted: list[str] = []
+
+    def _print(rows, columns=None, title=None):
+        text = format_table(rows, columns=columns, title=title)
+        emitted.append(text)
+        print("\n" + text)
+        return text
+
+    yield _print

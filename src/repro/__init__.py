@@ -1,0 +1,23 @@
+"""repro — Structural methods for the synthesis of speed-independent circuits.
+
+A reproduction of Pastor, Cortadella, Kondratyev and Roig (DATE'96 /
+IEEE TCAD 17(11), 1998): synthesis of speed-independent asynchronous circuits
+from free-choice signal transition graphs using structural (reachability-
+graph-free) approximations of the signal regions.
+
+Public sub-packages
+-------------------
+``repro.boolean``     cube/cover algebra and two-level minimization
+``repro.petri``       Petri-net kernel (markings, reachability, SM-covers)
+``repro.stg``         signal transition graphs and the ``.g`` format
+``repro.statebased``  exhaustive (state-based) analysis and synthesis baseline
+``repro.structural``  structural approximations (the paper's contribution)
+``repro.synthesis``   speed-independent synthesis flow and architectures
+``repro.verify``      speed-independence verification of the synthesized nets
+``repro.benchmarks``  benchmark STGs and scalable generators
+``repro.experiments`` table/figure reproduction harness
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""Benchmark STGs: running examples, classic circuits, and scalable generators.
+
+* :mod:`figures` — the running examples of the paper's figures (re-created:
+  the original drawings are not machine readable, so the STGs here are
+  constructed to exhibit the same structure class and properties —
+  free-choice, live, safe, consistent, CSC — and every property is asserted
+  by the test-suite);
+* :mod:`classic` — a suite of small/medium asynchronous-controller STGs in
+  the ``.g`` format, in the spirit of the classic benchmark set used by the
+  paper (Table V);
+* :mod:`scalable` — parametric generators: Muller pipelines, dining
+  philosophers, the generalized C-latch of Fig. 7, and arrays of independent
+  cells whose state counts blow past 10^27 (Tables VI and VII);
+* :mod:`registry` — a name → constructor registry used by the experiment
+  harness.
+"""
+
+from repro.benchmarks.registry import get_benchmark, list_benchmarks
+
+__all__ = ["get_benchmark", "list_benchmarks"]

@@ -1,0 +1,164 @@
+"""Running-example STGs mirroring the figures of the paper.
+
+The original figures are not machine readable, so the STGs below are
+re-creations that preserve the structural features each figure illustrates:
+
+* :func:`fig1_stg` — a free-choice STG with two input and two output signals,
+  internal concurrency, a free choice between two operating modes, and
+  multiple rising transitions of the output ``d`` (the role played by the
+  Fig. 1 example);
+* :func:`fig5_stg` — a small STG with a place whose single-cube approximation
+  overestimates its marked region, demonstrating cover refinement
+  (Section IV / Fig. 5);
+* :func:`fig7_glatch_stg` — the generalized C-latch of Fig. 7: a C-element
+  closed on its inputs through inverters, whose STG has ``2^n`` markings but
+  only ``2n`` places.
+
+Every property claimed here (free choice, liveness, safeness, consistency,
+CSC) is asserted by ``tests/test_figures.py``.
+"""
+
+from __future__ import annotations
+
+from repro.stg.stg import STG
+
+
+def fig1_stg() -> STG:
+    """The running example: free choice + concurrency + multiple ERs.
+
+    Two operating modes selected by a free choice between the input bursts
+    ``a+`` and ``b+``:
+
+    * mode A (sequential): ``a+ ; c+ ; d+/1 ; a- ; c-/1 ; d-``
+    * mode B (concurrent): ``b+ ; (c+/2 || d+/2) ; b- ; c-/2 ; d-``
+
+    Output ``d`` has two rising transitions (one per mode) and a single
+    falling transition reached through a merge place.  Two markings of the
+    two modes share the binary code 0011, so the STG violates USC but
+    satisfies CSC — the situation discussed for the Fig. 1 example.
+    """
+    edges = [
+        # free choice between the two modes
+        ("p0", "a+"),
+        ("p0", "b+"),
+        # mode A: sequential handshake
+        ("a+", "pa1"), ("pa1", "c+"),
+        ("c+", "pa2"), ("pa2", "d+/1"),
+        ("d+/1", "pa3"), ("pa3", "a-"),
+        ("a-", "pa4"), ("pa4", "c-/1"),
+        ("c-/1", "pm"),
+        # mode B: c and d rise concurrently, then b falls and c returns
+        ("b+", "pb1"), ("b+", "pb2"),
+        ("pb1", "c+/2"), ("c+/2", "pb3"),
+        ("pb2", "d+/2"), ("d+/2", "pb4"),
+        ("pb3", "b-"), ("pb4", "b-"),
+        ("b-", "pb5"), ("pb5", "c-/2"),
+        ("c-/2", "pm"),
+        # shared falling transition of d and return to the choice
+        ("pm", "d-"), ("d-", "p0"),
+    ]
+    stg = STG.from_edges(
+        name="fig1",
+        inputs=["a", "b"],
+        outputs=["c", "d"],
+        edges=edges,
+        marking=["p0"],
+        initial_values={"a": 0, "b": 0, "c": 0, "d": 0},
+    )
+    return stg
+
+
+def fig5_stg() -> STG:
+    """Cover-refinement example (Section IV / Fig. 5).
+
+    Output ``y`` rises after the concurrent inputs ``x`` and ``z`` complete a
+    handshake.  The places between the input transitions are concurrent to
+    the other input signal, so their single-cube approximations leave that
+    signal unconstrained — the situation the cover-refinement machinery of
+    Section IV is designed for.
+    """
+    stg = STG.from_edges(
+        name="fig5",
+        inputs=["x", "z"],
+        outputs=["y"],
+        edges=[
+            ("p0", "x+"), ("p0b", "z+"),
+            ("x+", "p1"), ("z+", "p2"),
+            ("p1", "x-"), ("p2", "z-"),
+            ("x-", "p3"), ("z-", "p4"),
+            ("p3", "y+"), ("p4", "y+"),
+            ("y+", "p5"), ("p5", "y-"),
+            ("y-", "p0"), ("y-", "p0b"),
+        ],
+        marking=["p0", "p0b"],
+        initial_values={"x": 0, "z": 0, "y": 0},
+    )
+    return stg
+
+
+def fig6_stg() -> STG:
+    """Signal-insertion example: :func:`fig5_stg` with a state signal ``s``.
+
+    The internal signal ``s`` records that the rising phase of the handshake
+    completed, disambiguating the covers that intersect in Fig. 5 (the paper
+    inserts the signal to distinguish the covers of the conflicting places).
+    """
+    stg = STG.from_edges(
+        name="fig6",
+        inputs=["x", "z"],
+        outputs=["y"],
+        internal=["s"],
+        edges=[
+            ("p0", "x+"), ("p0b", "z+"),
+            ("x+", "p1"), ("z+", "p2"),
+            ("p1", "s+"), ("p2", "s+"),
+            ("s+", "p1b"), ("s+", "p2b"),
+            ("p1b", "x-"), ("p2b", "z-"),
+            ("x-", "p3"), ("z-", "p4"),
+            ("p3", "y+"), ("p4", "y+"),
+            ("y+", "p5"), ("p5", "s-"),
+            ("s-", "p6"), ("p6", "y-"),
+            ("y-", "p0"), ("y-", "p0b"),
+        ],
+        marking=["p0", "p0b"],
+        initial_values={"x": 0, "z": 0, "y": 0, "s": 0},
+    )
+    return stg
+
+
+def fig7_glatch_stg(inputs: int = 3) -> STG:
+    """The generalized C-latch of Fig. 7.
+
+    A C-element ``y`` closed on its ``n`` inputs through inverters: the
+    output rises when all inputs are 1 and falls when all are 0, and every
+    output change triggers a concurrent burst of input changes.  The STG has
+    ``2n + 2`` places but ``2^(n+1)``-ish markings, which is what makes the
+    cover-cube approximation dramatic (Section IV).
+
+    The ``n`` input signals are named ``x0 .. x<n-1>``; the output is ``y``.
+    """
+    if inputs < 1:
+        raise ValueError("the generalized C-latch needs at least one input")
+    names = [f"x{i}" for i in range(inputs)]
+    edges: list[tuple[str, str]] = []
+    marking: list[str] = []
+    for name in names:
+        # y- causes xi+ ... xi+ enables y+ ; y+ causes xi- ; xi- enables y-
+        edges.append(("y-", f"{name}+"))
+        edges.append((f"{name}+", f"pu_{name}"))
+        edges.append((f"pu_{name}", "y+"))
+        edges.append(("y+", f"{name}-"))
+        edges.append((f"{name}-", f"pd_{name}"))
+        edges.append((f"pd_{name}", "y-"))
+        # Initial state: the inverters have driven every input to 1, so y+ is
+        # the transition enabled at the initial marking.
+        marking.append(f"pu_{name}")
+    stg = STG.from_edges(
+        name=f"glatch_{inputs}",
+        inputs=[],
+        outputs=names + ["y"],
+        edges=edges,
+        marking=marking,
+        initial_values={name: 1 for name in names} | {"y": 0},
+    )
+    return stg

@@ -1,0 +1,63 @@
+"""Benchmark registry: name → STG constructor.
+
+The experiment harness (``benchmarks/`` and :mod:`repro.experiments`) looks
+up benchmark instances by name so that tables and figures can declare their
+workloads declaratively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.benchmarks import classic, figures, scalable
+from repro.stg.stg import STG
+
+_BUILDERS: dict[str, Callable[[], STG]] = {}
+
+
+def register(name: str, builder: Callable[[], STG]) -> None:
+    """Register a benchmark constructor under a name."""
+    _BUILDERS[name] = builder
+
+
+def _register_defaults() -> None:
+    register("fig1", figures.fig1_stg)
+    register("fig5", figures.fig5_stg)
+    register("fig6", figures.fig6_stg)
+    register("glatch_3", lambda: figures.fig7_glatch_stg(3))
+    register("glatch_5", lambda: figures.fig7_glatch_stg(5))
+    register("glatch_8", lambda: figures.fig7_glatch_stg(8))
+    for name in classic.classic_names():
+        register(name, lambda n=name: classic.load_classic(n))
+    for stages in (2, 4, 8, 16, 32):
+        register(
+            f"muller_pipeline_{stages}",
+            lambda n=stages: scalable.muller_pipeline(n),
+        )
+    for philosophers in (3, 5, 8):
+        register(
+            f"philosophers_{philosophers}",
+            lambda n=philosophers: scalable.dining_philosophers(n),
+        )
+    for cells in (5, 10, 20, 45):
+        register(
+            f"independent_cells_{cells}",
+            lambda n=cells: scalable.independent_cells(n),
+        )
+
+
+_register_defaults()
+
+
+def list_benchmarks() -> list[str]:
+    """All registered benchmark names."""
+    return sorted(_BUILDERS)
+
+
+def get_benchmark(name: str) -> STG:
+    """Build a registered benchmark by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as error:
+        raise KeyError(f"unknown benchmark {name!r}") from error
+    return builder()

@@ -1,0 +1,36 @@
+"""Boolean (cube / two-level) algebra substrate.
+
+This package implements the cube calculus needed by the synthesis flow of
+Pastor et al.:
+
+* :class:`~repro.boolean.cube.Cube` — a conjunction of literals over named
+  Boolean variables, represented as an immutable mapping ``variable -> 0/1``.
+* :class:`~repro.boolean.cover.Cover` — a sum of cubes (two-level SOP form)
+  together with set-like operations (union, intersection, sharp, containment,
+  tautology) implemented with the classic unate-recursive paradigm.
+* :mod:`~repro.boolean.minimize` — a small single-output two-level minimizer
+  (expand / irredundant / literal-drop) in the spirit of espresso, used by the
+  region-cover minimization loop of Section VIII.
+* :mod:`~repro.boolean.function` — incompletely specified functions
+  (on-set / off-set / dc-set triples) as used for next-state functions.
+* :mod:`~repro.boolean.cost` — literal and transistor-count cost models used
+  for the area numbers of the experimental section.
+"""
+
+from repro.boolean.cube import Cube
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.boolean.minimize import expand_cover, irredundant_cover, minimize_cover
+from repro.boolean.cost import literal_count, cube_literal_count, transistor_estimate
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "BooleanFunction",
+    "expand_cover",
+    "irredundant_cover",
+    "minimize_cover",
+    "literal_count",
+    "cube_literal_count",
+    "transistor_estimate",
+]

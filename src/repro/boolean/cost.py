@@ -1,0 +1,57 @@
+"""Area cost models for synthesized logic.
+
+The paper reports area results in normalized units produced by a
+technology-mapping step onto a gate library with complex gates of up to four
+inputs (Section IX-A/B).  We reproduce the *relative* behaviour with two cost
+models:
+
+* literal count — the classic technology-independent estimate;
+* transistor estimate — 2 transistors per literal of every product term plus
+  2 per product term of the OR plane, plus a fixed cost for memory elements
+  (a C-latch is costed as 8 transistors, matching a standard CMOS
+  implementation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+#: Transistor cost of a C-element / C-latch memory cell.
+CLATCH_TRANSISTORS = 8
+
+#: Transistor cost of an inverter.
+INVERTER_TRANSISTORS = 2
+
+
+def cube_literal_count(cube: Cube) -> int:
+    """Number of literals of a single product term."""
+    return cube.num_literals()
+
+
+def literal_count(cover: Cover) -> int:
+    """Total number of literals of an SOP cover."""
+    return cover.num_literals()
+
+
+def sop_transistor_estimate(cover: Cover) -> int:
+    """Transistor estimate of a single AND-OR (complex gate) block.
+
+    2 transistors per literal in the AND plane; if there is more than one
+    product term an OR gate of 2 transistors per input is added.
+    """
+    if cover.is_empty():
+        return 0
+    and_plane = 2 * cover.num_literals()
+    terms = len(cover)
+    or_plane = 2 * terms if terms > 1 else 0
+    return and_plane + or_plane
+
+
+def transistor_estimate(covers: Iterable[Cover], memory_elements: int = 0) -> int:
+    """Transistor estimate of a network of complex gates plus memory cells."""
+    total = sum(sop_transistor_estimate(cover) for cover in covers)
+    total += memory_elements * CLATCH_TRANSISTORS
+    return total

@@ -1,0 +1,355 @@
+"""Covers: sums of cubes (two-level SOP forms) with set-like operations.
+
+A :class:`Cover` is a list of :class:`~repro.boolean.cube.Cube` objects over a
+declared variable universe.  The universe matters for complementation,
+tautology checking and minterm counting; cube-wise operations (union,
+intersection, containment) do not need it.
+
+Containment and tautology use the unate-recursive paradigm (Shannon expansion
+with unate-reduction shortcuts), which keeps the region-cover checks of the
+synthesis flow well below minterm enumeration cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Optional
+
+from repro.boolean.cube import Cube
+
+
+class Cover:
+    """A sum-of-products form over a fixed variable universe."""
+
+    __slots__ = ("_cubes", "_variables")
+
+    def __init__(self, cubes: Iterable[Cube] = (), variables: Iterable[str] = ()):
+        self._cubes: list[Cube] = list(cubes)
+        self._variables: tuple[str, ...] = tuple(variables)
+        universe = set(self._variables)
+        extra: list[str] = []
+        for cube in self._cubes:
+            for var in cube.support:
+                if var not in universe:
+                    universe.add(var)
+                    extra.append(var)
+        if extra:
+            self._variables = self._variables + tuple(extra)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, variables: Iterable[str] = ()) -> "Cover":
+        """The empty (constant-0) cover."""
+        return cls((), variables)
+
+    @classmethod
+    def universe(cls, variables: Iterable[str] = ()) -> "Cover":
+        """The constant-1 cover."""
+        return cls((Cube.universal(),), variables)
+
+    @classmethod
+    def from_strings(cls, patterns: Iterable[str], variables: Sequence[str]) -> "Cover":
+        """Build a cover from positional-cube strings."""
+        cubes = [Cube.from_string(pattern, variables) for pattern in patterns]
+        return cls(cubes, variables)
+
+    @classmethod
+    def from_vertices(
+        cls, vertices: Iterable[Mapping[str, int]], variables: Sequence[str]
+    ) -> "Cover":
+        """Build a cover of minterms from complete assignments."""
+        cubes = [Cube({v: vertex[v] for v in variables}) for vertex in vertices]
+        return cls(cubes, variables)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cubes(self) -> list[Cube]:
+        """A copy of the cube list."""
+        return list(self._cubes)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The variable universe of the cover."""
+        return self._variables
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __bool__(self) -> bool:
+        return bool(self._cubes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return self.contains_cover(other) and other.contains_cover(self)
+
+    def __repr__(self) -> str:
+        if not self._cubes:
+            return "Cover(0)"
+        return "Cover(" + " + ".join(cube.to_expression() for cube in self._cubes) + ")"
+
+    def to_expression(self) -> str:
+        """Human readable SOP string."""
+        if not self._cubes:
+            return "0"
+        return " + ".join(cube.to_expression() for cube in self._cubes)
+
+    def to_strings(self, variables: Optional[Sequence[str]] = None) -> list[str]:
+        """Positional-cube strings for every cube."""
+        order = list(variables) if variables is not None else list(self._variables)
+        return [cube.to_string(order) for cube in self._cubes]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def is_empty(self) -> bool:
+        """True if the cover has no cubes (constant 0)."""
+        return not self._cubes
+
+    def covers_vertex(self, vertex: Mapping[str, int]) -> bool:
+        """True if some cube of the cover covers the complete assignment."""
+        return any(cube.covers_vertex(vertex) for cube in self._cubes)
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """True if the cover contains every vertex of ``cube``.
+
+        Implemented as a tautology check of the cover cofactored by the cube.
+        """
+        if any(other.covers(cube) for other in self._cubes):
+            return True
+        cofactored = []
+        for other in self._cubes:
+            reduced = other.cofactor_cube(cube)
+            if reduced is not None:
+                cofactored.append(reduced)
+        if not cofactored:
+            return False
+        variables = set()
+        for item in cofactored:
+            variables |= item.support
+        return _is_tautology(cofactored, sorted(variables))
+
+    def contains_cover(self, other: "Cover") -> bool:
+        """True if every vertex of ``other`` is covered by this cover."""
+        return all(self.covers_cube(cube) for cube in other)
+
+    def intersects_cube(self, cube: Cube) -> bool:
+        """True if the cover shares at least one vertex with ``cube``."""
+        return any(other.intersects(cube) for other in self._cubes)
+
+    def intersects_cover(self, other: "Cover") -> bool:
+        """True if the two covers share at least one vertex."""
+        return any(self.intersects_cube(cube) for cube in other)
+
+    def num_literals(self) -> int:
+        """Total literal count of the SOP form."""
+        return sum(cube.num_literals() for cube in self._cubes)
+
+    def support(self) -> frozenset[str]:
+        """Union of the supports of all cubes."""
+        result: set[str] = set()
+        for cube in self._cubes:
+            result |= cube.support
+        return frozenset(result)
+
+    def count_minterms(self) -> int:
+        """Exact number of minterms over the declared variable universe.
+
+        Uses recursive Shannon expansion; exponential in the worst case but
+        adequate for the region sizes handled in the test-suite.
+        """
+        return _count_minterms(list(self._cubes), list(self._variables))
+
+    def is_tautology(self) -> bool:
+        """True if the cover covers the whole Boolean space of its universe."""
+        if not self._cubes:
+            return False
+        return _is_tautology(list(self._cubes), list(self._variables))
+
+    # ------------------------------------------------------------------ #
+    # Algebraic operations
+    # ------------------------------------------------------------------ #
+
+    def add_cube(self, cube: Cube) -> "Cover":
+        """Cover with one more cube (single-cube containment removed)."""
+        if any(other.covers(cube) for other in self._cubes):
+            return self
+        kept = [other for other in self._cubes if not cube.covers(other)]
+        kept.append(cube)
+        return Cover(kept, self._variables)
+
+    def union(self, other: "Cover") -> "Cover":
+        """Disjunction of two covers (with single-cube containment removal)."""
+        result = Cover(self._cubes, self._variables + other._variables)
+        for cube in other:
+            result = result.add_cube(cube)
+        return result
+
+    def __or__(self, other: "Cover") -> "Cover":
+        return self.union(other)
+
+    def intersection(self, other: "Cover") -> "Cover":
+        """Conjunction of two covers (pairwise cube products)."""
+        products: list[Cube] = []
+        for left in self._cubes:
+            for right in other:
+                product = left.intersect(right)
+                if product is not None:
+                    products.append(product)
+        return Cover(products, self._variables + other._variables).remove_contained()
+
+    def __and__(self, other: "Cover") -> "Cover":
+        return self.intersection(other)
+
+    def intersect_cube(self, cube: Cube) -> "Cover":
+        """Conjunction of the cover with a single cube."""
+        products = []
+        for other in self._cubes:
+            product = other.intersect(cube)
+            if product is not None:
+                products.append(product)
+        return Cover(products, self._variables).remove_contained()
+
+    def sharp_cube(self, cube: Cube) -> "Cover":
+        """Difference ``cover \\ cube`` (sharp operation)."""
+        result: list[Cube] = []
+        for own in self._cubes:
+            if not own.intersects(cube):
+                result.append(own)
+                continue
+            if cube.covers(own):
+                continue
+            for piece in cube.complement_cubes():
+                product = own.intersect(piece)
+                if product is not None:
+                    result.append(product)
+        return Cover(result, self._variables).remove_contained()
+
+    def sharp(self, other: "Cover") -> "Cover":
+        """Difference ``cover \\ other``."""
+        result = self
+        for cube in other:
+            result = result.sharp_cube(cube)
+            if result.is_empty():
+                break
+        return result
+
+    def __sub__(self, other: "Cover") -> "Cover":
+        return self.sharp(other)
+
+    def complement(self) -> "Cover":
+        """Complement of the cover over its variable universe."""
+        result = Cover.universe(self._variables)
+        for cube in self._cubes:
+            result = result.sharp_cube(cube)
+            if result.is_empty():
+                break
+        return result
+
+    def remove_contained(self) -> "Cover":
+        """Remove cubes that are single-cube contained in another cube."""
+        kept: list[Cube] = []
+        cubes = sorted(self._cubes, key=lambda c: c.num_literals())
+        for cube in cubes:
+            if not any(other.covers(cube) for other in kept):
+                kept.append(cube)
+        return Cover(kept, self._variables)
+
+    def restrict(self, variables: Iterable[str]) -> "Cover":
+        """Project every cube onto a subset of variables (existential)."""
+        allowed = list(variables)
+        return Cover([cube.restrict(allowed) for cube in self._cubes], allowed)
+
+    def cofactor(self, variable: str, value: int) -> "Cover":
+        """Shannon cofactor of the cover."""
+        reduced = []
+        for cube in self._cubes:
+            item = cube.cofactor(variable, value)
+            if item is not None:
+                reduced.append(item)
+        remaining = tuple(v for v in self._variables if v != variable)
+        return Cover(reduced, remaining)
+
+    def with_variables(self, variables: Iterable[str]) -> "Cover":
+        """Return the same cover declared over a (larger) variable universe."""
+        return Cover(self._cubes, variables)
+
+
+# ---------------------------------------------------------------------- #
+# Unate-recursive helpers
+# ---------------------------------------------------------------------- #
+
+
+def _is_tautology(cubes: list[Cube], variables: list[str]) -> bool:
+    """Tautology check by Shannon expansion with unate shortcuts."""
+    if any(cube.is_universal() for cube in cubes):
+        return True
+    if not cubes:
+        return False
+    # Unate reduction: if some variable appears only with one polarity, the
+    # cover is a tautology only if the cubes independent of it already are.
+    polarity: dict[str, set[int]] = {}
+    for cube in cubes:
+        for var, value in cube.items():
+            polarity.setdefault(var, set()).add(value)
+    split_var = None
+    for var in variables:
+        values = polarity.get(var)
+        if values is None:
+            continue
+        if len(values) == 2:
+            split_var = var
+            break
+    if split_var is None:
+        # Every bound variable is unate: tautology iff some universal cube,
+        # which was already checked above.
+        return False
+    rest = [v for v in variables if v != split_var]
+    for value in (0, 1):
+        branch = []
+        for cube in cubes:
+            item = cube.cofactor(split_var, value)
+            if item is not None:
+                branch.append(item)
+        if not _is_tautology(branch, rest):
+            return False
+    return True
+
+
+def _count_minterms(cubes: list[Cube], variables: list[str]) -> int:
+    """Count minterms of a cube list over ``variables`` by Shannon expansion."""
+    if not cubes:
+        return 0
+    if any(cube.is_universal() for cube in cubes):
+        return 1 << len(variables)
+    if len(cubes) == 1:
+        free = sum(1 for v in variables if v not in cubes[0])
+        return 1 << free
+    split_var = None
+    for var in variables:
+        if any(var in cube for cube in cubes):
+            split_var = var
+            break
+    if split_var is None:
+        # No cube depends on the remaining variables.
+        return 1 << len(variables) if cubes else 0
+    rest = [v for v in variables if v != split_var]
+    total = 0
+    for value in (0, 1):
+        branch = []
+        for cube in cubes:
+            item = cube.cofactor(split_var, value)
+            if item is not None:
+                branch.append(item)
+        total += _count_minterms(branch, rest)
+    return total

@@ -1,0 +1,346 @@
+"""Cubes: conjunctions of literals over named Boolean variables.
+
+A cube is represented as an immutable mapping ``variable -> value`` where the
+value is ``0`` (complemented literal), or ``1`` (positive literal).  Variables
+that do not appear in the mapping are *don't-care* (the cube does not depend
+on them).  The empty mapping is the universal cube (constant ``1``).
+
+The representation mirrors the positional-cube notation of the paper
+(Section II-A): the character string of a cube over an ordered list of
+variables uses ``0``, ``1`` and ``-``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Optional
+
+
+class Cube(Mapping[str, int]):
+    """An immutable product term (conjunction of literals).
+
+    Parameters
+    ----------
+    literals:
+        A mapping (or iterable of pairs) from variable name to 0 or 1.
+
+    Examples
+    --------
+    >>> c = Cube({"a": 1, "b": 0})
+    >>> c.to_string(["a", "b", "c"])
+    '10-'
+    >>> Cube.universal().is_universal()
+    True
+    """
+
+    __slots__ = ("_literals", "_hash")
+
+    def __init__(self, literals: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items = dict(literals)
+        for var, value in items.items():
+            if value not in (0, 1):
+                raise ValueError(f"literal value for {var!r} must be 0 or 1, got {value!r}")
+        self._literals: dict[str, int] = items
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def universal(cls) -> "Cube":
+        """The cube with no literals (the constant-1 function)."""
+        return cls({})
+
+    @classmethod
+    def from_string(cls, pattern: str, variables: Iterable[str]) -> "Cube":
+        """Build a cube from positional-cube notation.
+
+        ``pattern`` uses ``0``, ``1``, ``-`` (or ``x``/``X``) positionally over
+        ``variables``.
+        """
+        variables = list(variables)
+        if len(pattern) != len(variables):
+            raise ValueError(
+                f"pattern length {len(pattern)} does not match {len(variables)} variables"
+            )
+        literals: dict[str, int] = {}
+        for char, var in zip(pattern, variables):
+            if char == "1":
+                literals[var] = 1
+            elif char == "0":
+                literals[var] = 0
+            elif char in "-xX*":
+                continue
+            else:
+                raise ValueError(f"invalid cube character {char!r}")
+        return cls(literals)
+
+    @classmethod
+    def from_vertex(cls, vertex: Mapping[str, int]) -> "Cube":
+        """Build a minterm cube from a complete variable assignment."""
+        return cls(vertex)
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, variable: str) -> int:
+        return self._literals[variable]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._literals)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self._literals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._literals.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Cube):
+            return self._literals == other._literals
+        if isinstance(other, Mapping):
+            return self._literals == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if not self._literals:
+            return "Cube(1)"
+        body = " ".join(
+            (name if value else f"{name}'")
+            for name, value in sorted(self._literals.items())
+        )
+        return f"Cube({body})"
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def literals(self) -> dict[str, int]:
+        """A copy of the literal mapping."""
+        return dict(self._literals)
+
+    @property
+    def support(self) -> frozenset[str]:
+        """The set of variables the cube depends on."""
+        return frozenset(self._literals)
+
+    def is_universal(self) -> bool:
+        """True if this cube is the constant-1 cube (no literals)."""
+        return not self._literals
+
+    def value_of(self, variable: str) -> Optional[int]:
+        """The literal value for ``variable`` or ``None`` if don't-care."""
+        return self._literals.get(variable)
+
+    def num_literals(self) -> int:
+        """Number of literals in the cube."""
+        return len(self._literals)
+
+    # ------------------------------------------------------------------ #
+    # Cube algebra
+    # ------------------------------------------------------------------ #
+
+    def intersect(self, other: "Cube") -> Optional["Cube"]:
+        """Product of two cubes, or ``None`` if they are disjoint.
+
+        Two cubes are disjoint when some variable appears with opposite
+        polarities.
+        """
+        if len(other._literals) < len(self._literals):
+            small, large = other._literals, self._literals
+        else:
+            small, large = self._literals, other._literals
+        merged = dict(large)
+        for var, value in small.items():
+            existing = merged.get(var)
+            if existing is None:
+                merged[var] = value
+            elif existing != value:
+                return None
+        return Cube(merged)
+
+    def __and__(self, other: "Cube") -> Optional["Cube"]:
+        return self.intersect(other)
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the two cubes share at least one vertex."""
+        own = self._literals
+        for var, value in other._literals.items():
+            existing = own.get(var)
+            if existing is not None and existing != value:
+                return False
+        return True
+
+    def covers(self, other: "Cube") -> bool:
+        """True if every vertex of ``other`` is a vertex of this cube.
+
+        Equivalent to: every literal of ``self`` appears in ``other`` with the
+        same polarity.
+        """
+        other_literals = other._literals
+        for var, value in self._literals.items():
+            if other_literals.get(var) != value:
+                return False
+        return True
+
+    def covers_vertex(self, vertex: Mapping[str, int]) -> bool:
+        """True if a complete assignment ``vertex`` satisfies the cube."""
+        for var, value in self._literals.items():
+            if vertex.get(var) != value:
+                return False
+        return True
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables in which the cubes have opposite literals."""
+        count = 0
+        other_literals = other._literals
+        for var, value in self._literals.items():
+            existing = other_literals.get(var)
+            if existing is not None and existing != value:
+                count += 1
+        return count
+
+    def consensus(self, other: "Cube") -> Optional["Cube"]:
+        """The consensus (resolvent) of two cubes at distance exactly one."""
+        clash = None
+        other_literals = other._literals
+        for var, value in self._literals.items():
+            existing = other_literals.get(var)
+            if existing is not None and existing != value:
+                if clash is not None:
+                    return None
+                clash = var
+        if clash is None:
+            return None
+        merged = dict(self._literals)
+        merged.update(other_literals)
+        del merged[clash]
+        return Cube(merged)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both cubes."""
+        merged = {
+            var: value
+            for var, value in self._literals.items()
+            if other._literals.get(var) == value
+        }
+        return Cube(merged)
+
+    def cofactor(self, variable: str, value: int) -> Optional["Cube"]:
+        """Cofactor with respect to ``variable = value``.
+
+        Returns ``None`` if the cube requires the opposite value (the
+        cofactor is empty); otherwise returns the cube with the variable
+        removed.
+        """
+        existing = self._literals.get(variable)
+        if existing is None:
+            return self
+        if existing != value:
+            return None
+        reduced = dict(self._literals)
+        del reduced[variable]
+        return Cube(reduced)
+
+    def cofactor_cube(self, other: "Cube") -> Optional["Cube"]:
+        """Generalized cofactor of this cube with respect to another cube."""
+        if not self.intersects(other):
+            return None
+        reduced = {
+            var: value
+            for var, value in self._literals.items()
+            if var not in other._literals
+        }
+        return Cube(reduced)
+
+    def expand_literal(self, variable: str) -> "Cube":
+        """Return the cube with ``variable`` removed from its support."""
+        if variable not in self._literals:
+            return self
+        reduced = dict(self._literals)
+        del reduced[variable]
+        return Cube(reduced)
+
+    def restrict(self, variables: Iterable[str]) -> "Cube":
+        """Project the cube onto a subset of variables."""
+        allowed = set(variables)
+        return Cube({v: k for v, k in self._literals.items() if v in allowed})
+
+    def with_literal(self, variable: str, value: int) -> "Cube":
+        """Return a new cube with ``variable`` bound to ``value``."""
+        merged = dict(self._literals)
+        merged[variable] = value
+        return Cube(merged)
+
+    def without_literals(self, variables: Iterable[str]) -> "Cube":
+        """Return a new cube with the given variables removed (made free)."""
+        drop = set(variables)
+        return Cube({v: k for v, k in self._literals.items() if v not in drop})
+
+    def complement_cubes(self) -> list["Cube"]:
+        """Complement of a single cube as a list of disjoint cubes.
+
+        Uses the standard telescoping expansion: for literals ``l1 l2 ... lk``
+        the complement is ``l1' + l1 l2' + l1 l2 l3' + ...``.
+        """
+        result: list[Cube] = []
+        prefix: dict[str, int] = {}
+        for var, value in self._literals.items():
+            term = dict(prefix)
+            term[var] = 1 - value
+            result.append(Cube(term))
+            prefix[var] = value
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Enumeration / formatting
+    # ------------------------------------------------------------------ #
+
+    def vertices(self, variables: Iterable[str]) -> Iterator[dict[str, int]]:
+        """Enumerate all complete assignments over ``variables`` in the cube."""
+        variables = list(variables)
+        free = [v for v in variables if v not in self._literals]
+        base = {v: self._literals[v] for v in variables if v in self._literals}
+        for var in self._literals:
+            if var not in variables:
+                raise ValueError(f"cube depends on {var!r} not in enumeration variables")
+        total = 1 << len(free)
+        for index in range(total):
+            vertex = dict(base)
+            for bit, var in enumerate(free):
+                vertex[var] = (index >> bit) & 1
+            yield vertex
+
+    def size(self, variables: Iterable[str]) -> int:
+        """Number of minterms of the cube over a variable universe."""
+        variables = list(variables)
+        free = sum(1 for v in variables if v not in self._literals)
+        return 1 << free
+
+    def to_string(self, variables: Iterable[str]) -> str:
+        """Positional-cube string over an ordered variable list."""
+        chars = []
+        for var in variables:
+            value = self._literals.get(var)
+            if value is None:
+                chars.append("-")
+            else:
+                chars.append(str(value))
+        return "".join(chars)
+
+    def to_expression(self) -> str:
+        """Human-readable product-term string, e.g. ``a b' c``."""
+        if not self._literals:
+            return "1"
+        return " ".join(
+            (name if value else f"{name}'")
+            for name, value in sorted(self._literals.items())
+        )

@@ -1,0 +1,131 @@
+"""Two-level single-output cover minimization (espresso-lite).
+
+The synthesis flow of the paper expands region covers toward the quiescent
+regions and the dc-set by *eliminating literals* (Section VIII and Appendix C).
+This module provides that machinery in a generic form:
+
+* :func:`expand_cube` — greedily drop literals from a cube while it remains an
+  implicant (does not intersect the off-set).
+* :func:`expand_cover` — expand every cube of a cover against an off-set.
+* :func:`irredundant_cover` — remove cubes that are covered by the rest of
+  the cover plus the dc-set.
+* :func:`minimize_cover` — expand + irredundant, the standard reduction loop.
+
+The off-set never has to be complemented explicitly by callers: synthesis code
+hands in the off-set cover it already owns (binary codes of markings where the
+function must be 0).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+
+def expand_cube(
+    cube: Cube,
+    off_set: Cover,
+    literal_order: Optional[Sequence[str]] = None,
+) -> Cube:
+    """Greedily remove literals from ``cube`` while avoiding the off-set.
+
+    Literals are tried in ``literal_order`` (default: sorted by name so the
+    result is deterministic).  A literal is dropped when the enlarged cube
+    still does not intersect ``off_set``.
+    """
+    if literal_order is None:
+        literal_order = sorted(cube.support)
+    current = cube
+    for variable in literal_order:
+        if variable not in current:
+            continue
+        candidate = current.expand_literal(variable)
+        if not off_set.intersects_cube(candidate):
+            current = candidate
+    return current
+
+
+def expand_cover(
+    cover: Cover,
+    off_set: Cover,
+    literal_order: Optional[Sequence[str]] = None,
+) -> Cover:
+    """Expand every cube of a cover against the off-set, then prune."""
+    expanded = [expand_cube(cube, off_set, literal_order) for cube in cover]
+    return Cover(expanded, cover.variables).remove_contained()
+
+
+def irredundant_cover(cover: Cover, dc_set: Optional[Cover] = None) -> Cover:
+    """Drop cubes whose vertices are covered by the remaining cubes + dc-set.
+
+    A simple greedy irredundant pass: cubes are visited from largest literal
+    count (most specific) to smallest, and removed when redundant.
+    """
+    cubes = sorted(cover.cubes, key=lambda c: -c.num_literals())
+    kept = list(cubes)
+    for cube in cubes:
+        others = [other for other in kept if other is not cube]
+        rest = Cover(others, cover.variables)
+        if dc_set is not None and not dc_set.is_empty():
+            rest = rest.union(dc_set)
+        if rest.covers_cube(cube):
+            kept = others
+    return Cover(kept, cover.variables)
+
+
+def minimize_cover(
+    on_set: Cover,
+    off_set: Cover,
+    dc_set: Optional[Cover] = None,
+    literal_order: Optional[Sequence[str]] = None,
+) -> Cover:
+    """Expand + irredundant minimization of a cover of the on-set.
+
+    The result contains ``on_set`` and does not intersect ``off_set``.
+    """
+    expanded = expand_cover(on_set, off_set, literal_order)
+    reduced = irredundant_cover(expanded, dc_set)
+    # Guard: never return a cover that lost part of the on-set.
+    if not reduced.contains_cover(on_set):
+        return expanded
+    return reduced
+
+
+def single_cube_cover(on_set: Cover, off_set: Cover) -> Optional[Cube]:
+    """Try to find a single cube that covers the on-set and avoids the off-set.
+
+    Returns the supercube of the on-set if it is an implicant, else ``None``.
+    """
+    if on_set.is_empty():
+        return None
+    cubes = on_set.cubes
+    super_cube = cubes[0]
+    for cube in cubes[1:]:
+        super_cube = super_cube.supercube(cube)
+    if off_set.intersects_cube(super_cube):
+        return None
+    return super_cube
+
+
+def remove_variables(cover: Cover, variables: Iterable[str], off_set: Cover) -> Cover:
+    """Remove the given variables from the support of a cover when safe.
+
+    A variable is removed from a cube only when the enlarged cube remains an
+    implicant against ``off_set``.  This is the "eliminate a signal from the
+    support of the function" transformation of the Appendix.
+    """
+    drop = list(variables)
+    cubes = []
+    for cube in cover:
+        candidate = cube
+        for variable in drop:
+            if variable not in candidate:
+                continue
+            enlarged = candidate.expand_literal(variable)
+            if not off_set.intersects_cube(enlarged):
+                candidate = enlarged
+        cubes.append(candidate)
+    return Cover(cubes, cover.variables).remove_contained()

@@ -1,0 +1,22 @@
+"""Reproduction harness for the tables and figures of the paper.
+
+Each module regenerates one experiment of Section IX:
+
+* :mod:`fig13`  — average area across the minimization levels M1..M5 + TM;
+* :mod:`table5` — per-benchmark area, structural flow vs. the state-based
+  baseline (standing in for SYN / FORCAGE);
+* :mod:`table6` — CPU time, structural vs. state-based, on STGs with large
+  reachability graphs (standing in for SIS / ASSASSIN);
+* :mod:`table7` — CPU time on the scalable examples (dining philosophers,
+  Muller pipelines);
+* :mod:`table8` — markings / nodes / cubes trade-off of the cube
+  approximations.
+
+Every experiment returns a list of row dictionaries and can render itself as
+an aligned text table via :mod:`reporting`, so the pytest-benchmark harness
+under ``benchmarks/`` and the examples can share the same code.
+"""
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,38 @@
+"""Plain-text table rendering shared by all experiment modules."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_fmt(row.get(column, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

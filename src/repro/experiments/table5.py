@@ -1,0 +1,66 @@
+"""Table V — per-benchmark area comparison.
+
+The paper compares the area of its circuits (S3C, with and without backward
+expansion / mapping) against SYN and FORCAGE.  Those tools are not available,
+so the reproduction compares:
+
+* ``base``   — the state-based exhaustive baseline (plays the role of the
+  prior state-based tools),
+* ``s3c``    — the structural flow without backward expansion (level 3),
+* ``s3c_full`` — the fully minimized structural flow (level 5) plus
+  technology mapping.
+
+Areas are reported in literals and mapped (normalized transistor) units, and
+every synthesized circuit is re-verified to be speed independent.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks.classic import classic_names, load_classic
+from repro.petri.reachability import build_reachability_graph
+from repro.statebased.synthesis import synthesize_state_based
+from repro.synthesis import SynthesisOptions, map_circuit, synthesize
+from repro.verify import verify_speed_independence
+
+
+def table5_rows(names: list[str] | None = None, verify: bool = True) -> list[dict]:
+    """One row per benchmark: sizes and areas of the three flows."""
+    if names is None:
+        names = classic_names(synthesizable_only=True)
+    rows: list[dict] = []
+    for name in names:
+        stg = load_classic(name)
+        graph = build_reachability_graph(stg.net)
+        baseline = synthesize_state_based(stg)
+        partial = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
+        full = synthesize(stg, SynthesisOptions(level=5, assume_csc=True))
+        mapped = map_circuit(full.circuit)
+        row = {
+            "benchmark": name,
+            "P": stg.net.num_places(),
+            "T": stg.net.num_transitions(),
+            "M": len(graph),
+            "base_lits": baseline.circuit.literal_count(),
+            "s3c_lits": partial.circuit.literal_count(),
+            "s3c_full_lits": full.circuit.literal_count(),
+            "s3c_mapped_area": mapped.total_area,
+        }
+        if verify:
+            row["base_SI"] = bool(verify_speed_independence(stg, baseline.circuit))
+            row["s3c_SI"] = bool(verify_speed_independence(stg, full.circuit))
+        rows.append(row)
+    totals = {
+        "benchmark": "TOTAL",
+        "P": sum(r["P"] for r in rows),
+        "T": sum(r["T"] for r in rows),
+        "M": sum(r["M"] for r in rows),
+        "base_lits": sum(r["base_lits"] for r in rows),
+        "s3c_lits": sum(r["s3c_lits"] for r in rows),
+        "s3c_full_lits": sum(r["s3c_full_lits"] for r in rows),
+        "s3c_mapped_area": sum(r["s3c_mapped_area"] for r in rows),
+    }
+    if verify:
+        totals["base_SI"] = all(r["base_SI"] for r in rows)
+        totals["s3c_SI"] = all(r["s3c_SI"] for r in rows)
+    rows.append(totals)
+    return rows

@@ -1,0 +1,62 @@
+"""Table VII — CPU time on the scalable examples.
+
+The paper reports synthesis times for growing dining-philosophers (a
+non-free-choice, SM-coverable net) and Muller-pipeline instances.  The
+reproduction sweeps both families and reports the structural synthesis time
+and the circuit size; the state-based baseline time is included while the
+state space stays enumerable, to show the cross-over.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchmarks import scalable
+from repro.petri.reachability import StateSpaceLimitExceeded
+from repro.statebased.synthesis import synthesize_state_based
+from repro.synthesis import SynthesisOptions, synthesize
+
+DEFAULT_PHILOSOPHERS = (3, 5, 8, 12)
+DEFAULT_PIPELINES = (4, 8, 16, 32)
+BASELINE_MARKING_LIMIT = 100_000
+
+
+def table7_rows(
+    philosophers=DEFAULT_PHILOSOPHERS,
+    pipelines=DEFAULT_PIPELINES,
+    baseline_limit: int = BASELINE_MARKING_LIMIT,
+) -> list[dict]:
+    """Rows for both scalable families."""
+    rows: list[dict] = []
+    cases = [
+        (f"philosophers_{n}", lambda n=n: scalable.dining_philosophers(n))
+        for n in philosophers
+    ] + [
+        (f"muller_pipeline_{n}", lambda n=n: scalable.muller_pipeline(n))
+        for n in pipelines
+    ]
+    for name, builder in cases:
+        stg = builder()
+        start = time.perf_counter()
+        structural = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
+        structural_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            baseline = synthesize_state_based(stg, max_markings=baseline_limit)
+            baseline_seconds: float | str = round(time.perf_counter() - start, 3)
+            markings: int | str = baseline.statistics["markings"]
+        except StateSpaceLimitExceeded:
+            baseline_seconds = "blow-up"
+            markings = f">{baseline_limit}"
+        rows.append(
+            {
+                "benchmark": name,
+                "P": stg.net.num_places(),
+                "T": stg.net.num_transitions(),
+                "markings": markings,
+                "structural_s": round(structural_seconds, 3),
+                "statebased_s": baseline_seconds,
+                "structural_lits": structural.circuit.literal_count(),
+            }
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Table VIII — trade-offs among markings, STG nodes, and approximation cubes.
+
+The paper reports, separately for STGs with fewer and with more than 10^6
+markings, the total number of reachable markings, STG nodes, and cubes used
+by the structural approximations, plus the cubes/node and markings/cube
+ratios that justify the cube-approximation approach.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import scalable
+from repro.benchmarks.classic import classic_names, load_classic
+from repro.benchmarks.figures import fig1_stg, fig7_glatch_stg
+from repro.petri.reachability import StateSpaceLimitExceeded, count_reachable_markings
+from repro.synthesis import SynthesisOptions
+from repro.synthesis.engine import prepare_approximation
+
+#: marking-count threshold separating the "small" and "large" groups
+LARGE_THRESHOLD = 10_000
+
+
+def _benchmark_set() -> list[tuple[str, object, int | None]]:
+    """(name, stg, closed-form markings or None) for the analyzed set."""
+    items: list[tuple[str, object, int | None]] = []
+    for name in classic_names(synthesizable_only=True):
+        items.append((name, load_classic(name), None))
+    items.append(("fig1", fig1_stg(), None))
+    items.append(("glatch_8", fig7_glatch_stg(8), None))
+    items.append(("muller_pipeline_16", scalable.muller_pipeline(16), None))
+    items.append(("independent_cells_12", scalable.independent_cells(12), 4 ** 12))
+    items.append(("independent_cells_30", scalable.independent_cells(30), 4 ** 30))
+    items.append(("independent_cells_45", scalable.independent_cells(45), 4 ** 45))
+    return items
+
+
+def table8_rows(enumeration_limit: int = 300_000) -> list[dict]:
+    """Per-benchmark counts plus the two aggregated groups of Table VIII."""
+    per_benchmark: list[dict] = []
+    for name, stg, closed_form in _benchmark_set():
+        if closed_form is not None:
+            markings: int | None = closed_form
+        else:
+            try:
+                markings = count_reachable_markings(
+                    stg.net, max_markings=enumeration_limit
+                )
+            except StateSpaceLimitExceeded:
+                markings = None
+        approximation, stats = prepare_approximation(
+            stg, SynthesisOptions(assume_csc=True)
+        )
+        nodes = stg.net.num_places() + stg.net.num_transitions()
+        cubes = sum(len(cover) for cover in approximation.cover_functions.values())
+        per_benchmark.append(
+            {
+                "benchmark": name,
+                "markings": markings if markings is not None else f">{enumeration_limit}",
+                "nodes": nodes,
+                "cubes": cubes,
+                "cubes_per_node": round(cubes / nodes, 2),
+                "markings_per_cube": (
+                    round(markings / cubes, 2) if isinstance(markings, int) else "huge"
+                ),
+                "_markings_numeric": markings if isinstance(markings, int) else None,
+            }
+        )
+
+    def aggregate(group: list[dict], label: str) -> dict:
+        nodes = sum(r["nodes"] for r in group)
+        cubes = sum(r["cubes"] for r in group)
+        markings = sum(
+            r["_markings_numeric"] for r in group if r["_markings_numeric"] is not None
+        )
+        return {
+            "benchmark": label,
+            "markings": markings,
+            "nodes": nodes,
+            "cubes": cubes,
+            "cubes_per_node": round(cubes / nodes, 2) if nodes else 0,
+            "markings_per_cube": round(markings / cubes, 2) if cubes else 0,
+        }
+
+    small = [
+        r for r in per_benchmark
+        if r["_markings_numeric"] is not None and r["_markings_numeric"] <= LARGE_THRESHOLD
+    ]
+    large = [
+        r for r in per_benchmark
+        if r["_markings_numeric"] is None or r["_markings_numeric"] > LARGE_THRESHOLD
+    ]
+    rows = [dict(r) for r in per_benchmark]
+    for row in rows:
+        row.pop("_markings_numeric", None)
+    if small:
+        rows.append(aggregate(small, "SMALL (<=10k markings)"))
+    if large:
+        numeric_large = [r for r in large if r["_markings_numeric"] is not None]
+        if numeric_large:
+            rows.append(aggregate(numeric_large, "LARGE (>10k markings, enumerable)"))
+    return rows

@@ -1,0 +1,161 @@
+"""Place invariants (P-semiflows) of a Petri net.
+
+SM-components of live and safe free-choice nets correspond to minimal place
+semiflows with 0/1 coefficients whose induced subnet is a strongly connected
+state machine (Hack's theorem, referenced in Section II-B).  This module
+computes minimal semiflows with the classic Farkas / Fourier–Motzkin
+elimination on the incidence matrix, which the SM-cover computation then
+filters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from math import gcd
+from typing import Optional
+
+from repro.petri.net import PetriNet
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list[str], list[str], list[list[int]]]:
+    """The incidence matrix C (places x transitions) of the net.
+
+    ``C[p][t] = F(t, p) - F(p, t)`` for the arc-weight-1 nets used here.
+    """
+    places = net.places
+    transitions = net.transitions
+    place_index = {p: i for i, p in enumerate(places)}
+    matrix = [[0] * len(transitions) for _ in places]
+    for j, transition in enumerate(transitions):
+        for place in net.preset(transition):
+            matrix[place_index[place]][j] -= 1
+        for place in net.postset(transition):
+            matrix[place_index[place]][j] += 1
+    return places, transitions, matrix
+
+
+def _normalize(vector: Sequence[int]) -> tuple[int, ...]:
+    divisor = 0
+    for value in vector:
+        divisor = gcd(divisor, value)
+    if divisor in (0, 1):
+        return tuple(vector)
+    return tuple(value // divisor for value in vector)
+
+
+def _support(vector: Sequence[int]) -> frozenset[int]:
+    return frozenset(i for i, value in enumerate(vector) if value)
+
+
+def place_invariants(
+    net: PetriNet,
+    max_rows: Optional[int] = 200_000,
+) -> list[dict[str, int]]:
+    """All minimal-support non-negative place invariants (P-semiflows).
+
+    Implements the Farkas algorithm: starting from ``[C | I]``, transitions
+    (columns of C) are eliminated one at a time by combining rows with
+    positive and negative entries; rows with non-minimal support are pruned
+    after every elimination step.
+
+    Parameters
+    ----------
+    max_rows:
+        Safety bound on the intermediate row count (raises ``RuntimeError``
+        when exceeded), protecting the scalable benchmarks from pathological
+        blow-up.
+    """
+    places, transitions, matrix = incidence_matrix(net)
+    num_places = len(places)
+    num_transitions = len(transitions)
+    # Rows: [C_row | identity_row]
+    rows: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for i in range(num_places):
+        identity = tuple(1 if j == i else 0 for j in range(num_places))
+        rows.append((tuple(matrix[i]), identity))
+
+    for column in range(num_transitions):
+        positive = [row for row in rows if row[0][column] > 0]
+        negative = [row for row in rows if row[0][column] < 0]
+        zero = [row for row in rows if row[0][column] == 0]
+        combined: list[tuple[tuple[int, ...], tuple[int, ...]]] = list(zero)
+        for c_pos, inv_pos in positive:
+            for c_neg, inv_neg in negative:
+                factor_pos = -c_neg[column]
+                factor_neg = c_pos[column]
+                new_c = tuple(
+                    factor_pos * a + factor_neg * b for a, b in zip(c_pos, c_neg)
+                )
+                new_inv = tuple(
+                    factor_pos * a + factor_neg * b for a, b in zip(inv_pos, inv_neg)
+                )
+                merged = _normalize(new_c + new_inv)
+                combined.append((merged[:num_transitions], merged[num_transitions:]))
+        # prune rows with non-minimal support (on the invariant part)
+        combined = _prune_non_minimal(combined)
+        if max_rows is not None and len(combined) > max_rows:
+            raise RuntimeError(
+                f"Farkas elimination exceeded {max_rows} intermediate rows"
+            )
+        rows = combined
+
+    invariants: list[dict[str, int]] = []
+    seen: set[tuple[int, ...]] = set()
+    for c_part, inv_part in rows:
+        if any(value != 0 for value in c_part):
+            continue
+        if all(value == 0 for value in inv_part):
+            continue
+        normalized = _normalize(inv_part)
+        if normalized in seen:
+            continue
+        seen.add(normalized)
+        invariants.append(
+            {places[i]: value for i, value in enumerate(normalized) if value}
+        )
+    return invariants
+
+
+def _prune_non_minimal(
+    rows: list[tuple[tuple[int, ...], tuple[int, ...]]],
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Remove rows whose invariant support strictly contains another row's."""
+    supports = [_support(inv) for _, inv in rows]
+    keep: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    kept_supports: list[frozenset[int]] = []
+    order = sorted(range(len(rows)), key=lambda i: len(supports[i]))
+    selected: set[int] = set()
+    for index in order:
+        support = supports[index]
+        if any(other <= support and other != support for other in kept_supports):
+            continue
+        if support in kept_supports:
+            continue
+        kept_supports.append(support)
+        selected.add(index)
+    for index in sorted(selected):
+        keep.append(rows[index])
+    return keep
+
+
+def minimal_place_invariants(net: PetriNet) -> list[frozenset[str]]:
+    """Supports of the minimal P-semiflows."""
+    return [frozenset(inv) for inv in place_invariants(net)]
+
+
+def is_covered_by_invariants(net: PetriNet, invariants: list[dict[str, int]]) -> bool:
+    """True if every place appears in the support of some invariant."""
+    covered: set[str] = set()
+    for invariant in invariants:
+        covered.update(invariant)
+    return covered >= set(net.places)
+
+
+def token_count_of_invariant(net: PetriNet, invariant: dict[str, int]) -> int:
+    """Weighted token count of the initial marking over an invariant.
+
+    This count is preserved by every firing; for a one-token SM-component it
+    equals 1.
+    """
+    marking = net.initial_marking
+    return sum(weight * marking[place] for place, weight in invariant.items())

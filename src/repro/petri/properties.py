@@ -1,0 +1,214 @@
+"""Structural and behavioural property checks for Petri nets.
+
+The synthesis framework assumes live, safe, irredundant free-choice nets
+(Section II-B).  Free choice, marked graph and state machine are purely
+structural checks.  Liveness and safeness are decided on the reachability
+graph (an optional marking bound protects against state explosion); for the
+net classes used in the paper this matches the polynomial structural
+characterizations, and the RG-based checks double as oracles in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.petri.net import PetriNet
+from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
+
+
+# ---------------------------------------------------------------------- #
+# Structural net classes
+# ---------------------------------------------------------------------- #
+
+
+def is_state_machine(net: PetriNet) -> bool:
+    """True if every transition has exactly one input and one output place."""
+    for transition in net.transitions:
+        if len(net.preset(transition)) != 1 or len(net.postset(transition)) != 1:
+            return False
+    return True
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """True if every place has exactly one input and one output transition."""
+    for place in net.places:
+        if len(net.preset(place)) != 1 or len(net.postset(place)) != 1:
+            return False
+    return True
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Free-choice condition of the paper.
+
+    Every arc from a place is either the unique outgoing arc of the place or
+    the unique incoming arc of its target transition.  Equivalently, if a
+    place has more than one output transition, each of those transitions has
+    that place as its only input place.
+    """
+    for place in net.places:
+        successors = net.postset(place)
+        if len(successors) <= 1:
+            continue
+        for transition in successors:
+            if len(net.preset(transition)) != 1:
+                return False
+    return True
+
+
+def is_extended_free_choice(net: PetriNet) -> bool:
+    """Extended free-choice: conflicting transitions share all input places."""
+    for place in net.places:
+        successors = net.postset(place)
+        if len(successors) <= 1:
+            continue
+        presets = [net.preset(t) for t in successors]
+        first = presets[0]
+        if any(preset != first for preset in presets[1:]):
+            return False
+    return True
+
+
+def choice_places(net: PetriNet) -> list[str]:
+    """Places with more than one output transition (choice places)."""
+    return [p for p in net.places if len(net.postset(p)) > 1]
+
+
+def is_connected(net: PetriNet) -> bool:
+    """True if the underlying undirected flow graph is connected."""
+    graph = nx.Graph()
+    graph.add_nodes_from(net.nodes)
+    graph.add_edges_from(net.arcs())
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_connected(graph)
+
+
+def is_strongly_connected(net: PetriNet) -> bool:
+    """True if the directed flow graph is strongly connected."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(net.nodes)
+    graph.add_edges_from(net.arcs())
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_strongly_connected(graph)
+
+
+# ---------------------------------------------------------------------- #
+# Behavioural properties (reachability-graph based)
+# ---------------------------------------------------------------------- #
+
+
+def is_safe(
+    net: PetriNet,
+    graph: Optional[ReachabilityGraph] = None,
+    max_markings: Optional[int] = None,
+) -> bool:
+    """True if no reachable marking assigns more than one token to a place."""
+    if graph is None:
+        graph = build_reachability_graph(net, max_markings=max_markings)
+    return all(marking.is_safe() for marking in graph)
+
+
+def is_live(
+    net: PetriNet,
+    graph: Optional[ReachabilityGraph] = None,
+    max_markings: Optional[int] = None,
+) -> bool:
+    """True if every transition stays potentially firable from every marking.
+
+    For a bounded net, liveness holds iff every bottom strongly connected
+    component of the reachability graph contains an edge for every transition.
+    """
+    if graph is None:
+        graph = build_reachability_graph(net, max_markings=max_markings)
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.markings)
+    for source, transition, target in graph.edges():
+        digraph.add_edge(source, target, transition=transition)
+    all_transitions = set(net.transitions)
+    condensation = nx.condensation(digraph)
+    for component_id in condensation.nodes:
+        if condensation.out_degree(component_id) != 0:
+            continue
+        members = condensation.nodes[component_id]["members"]
+        fired: set[str] = set()
+        for marking in members:
+            for label, target in graph.successors(marking):
+                if target in members:
+                    fired.add(label)
+        if fired != all_transitions:
+            return False
+    return True
+
+
+def is_reversible(
+    net: PetriNet,
+    graph: Optional[ReachabilityGraph] = None,
+) -> bool:
+    """True if the initial marking is reachable from every reachable marking."""
+    if graph is None:
+        graph = build_reachability_graph(net)
+    return graph.is_strongly_connected()
+
+
+def redundant_places(
+    net: PetriNet,
+    graph: Optional[ReachabilityGraph] = None,
+) -> list[str]:
+    """Places whose removal preserves the set of feasible firing sequences.
+
+    A place is redundant when it never constrains the enabling of its output
+    transitions: whenever all *other* input places of each output transition
+    are marked, the place is marked too.  This behavioural check runs on the
+    reachability graph and is exact for bounded nets.
+    """
+    if graph is None:
+        graph = build_reachability_graph(net)
+    redundant: list[str] = []
+    for place in net.places:
+        successors = net.postset(place)
+        if not successors:
+            # A place with no output transitions never restricts behaviour.
+            redundant.append(place)
+            continue
+        constrains = False
+        for marking in graph:
+            if marking[place] > 0:
+                continue
+            for transition in successors:
+                others = net.preset(transition) - {place}
+                if all(marking[other] > 0 for other in others):
+                    constrains = True
+                    break
+            if constrains:
+                break
+        if not constrains:
+            redundant.append(place)
+    return redundant
+
+
+def validate_synthesis_preconditions(
+    net: PetriNet,
+    graph: Optional[ReachabilityGraph] = None,
+    require_free_choice: bool = True,
+) -> list[str]:
+    """Check the preconditions assumed throughout the paper.
+
+    Returns a list of human-readable violation messages (empty if the net is
+    a live, safe, irredundant free-choice net).
+    """
+    problems: list[str] = []
+    if require_free_choice and not is_free_choice(net):
+        problems.append("net is not free choice")
+    if graph is None:
+        graph = build_reachability_graph(net)
+    if not is_safe(net, graph):
+        problems.append("net is not safe")
+    if not is_live(net, graph):
+        problems.append("net is not live")
+    extras = redundant_places(net, graph)
+    if extras:
+        problems.append(f"net has redundant places: {sorted(extras)}")
+    return problems

@@ -1,0 +1,264 @@
+"""Reachability-graph generation (exhaustive token-flow analysis).
+
+This is the state-based substrate that structural methods avoid; it is needed
+here both as the correctness oracle for the structural algorithms (on small
+and medium STGs) and as the baseline synthesis engine used for the CPU-time
+comparisons of Tables VI and VII.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+class ReachabilityGraph:
+    """The reachability graph (RG) of a Petri net.
+
+    Vertices are :class:`~repro.petri.marking.Marking` objects; edges are
+    labelled with the fired transition.
+    """
+
+    def __init__(self, net: PetriNet, initial: Marking):
+        self.net = net
+        self.initial = initial
+        self._successors: dict[Marking, list[tuple[str, Marking]]] = {}
+        self._predecessors: dict[Marking, list[tuple[str, Marking]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction (used by the builder)
+    # ------------------------------------------------------------------ #
+
+    def _add_marking(self, marking: Marking) -> None:
+        self._successors.setdefault(marking, [])
+        self._predecessors.setdefault(marking, [])
+
+    def _add_edge(self, source: Marking, transition: str, target: Marking) -> None:
+        self._add_marking(source)
+        self._add_marking(target)
+        self._successors[source].append((transition, target))
+        self._predecessors[target].append((transition, source))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def markings(self) -> list[Marking]:
+        """All reachable markings (discovery order)."""
+        return list(self._successors)
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def __contains__(self, marking: Marking) -> bool:
+        return marking in self._successors
+
+    def __iter__(self) -> Iterator[Marking]:
+        return iter(self._successors)
+
+    def successors(self, marking: Marking) -> list[tuple[str, Marking]]:
+        """Outgoing edges of a marking as ``(transition, target)`` pairs."""
+        return list(self._successors[marking])
+
+    def predecessors(self, marking: Marking) -> list[tuple[str, Marking]]:
+        """Incoming edges of a marking as ``(transition, source)`` pairs."""
+        return list(self._predecessors[marking])
+
+    def edges(self) -> Iterator[tuple[Marking, str, Marking]]:
+        """Iterate over all edges as ``(source, transition, target)``."""
+        for source, items in self._successors.items():
+            for transition, target in items:
+                yield source, transition, target
+
+    def num_edges(self) -> int:
+        """Total number of edges."""
+        return sum(len(items) for items in self._successors.values())
+
+    def enabled_transitions(self, marking: Marking) -> set[str]:
+        """Transitions enabled at a marking (labels of outgoing edges)."""
+        return {transition for transition, _ in self._successors[marking]}
+
+    def markings_enabling(self, transition: str) -> list[Marking]:
+        """All markings at which ``transition`` is enabled."""
+        return [m for m, items in self._successors.items()
+                if any(label == transition for label, _ in items)]
+
+    def is_deadlock(self, marking: Marking) -> bool:
+        """True if no transition is enabled at the marking."""
+        return not self._successors[marking]
+
+    def deadlocks(self) -> list[Marking]:
+        """All deadlocked markings."""
+        return [m for m in self._successors if self.is_deadlock(m)]
+
+    def fired_transitions(self) -> set[str]:
+        """Transitions appearing as an edge label somewhere in the graph."""
+        labels: set[str] = set()
+        for items in self._successors.values():
+            labels.update(label for label, _ in items)
+        return labels
+
+    def is_strongly_connected(self) -> bool:
+        """True if every marking can reach every other marking."""
+        if not self._successors:
+            return False
+        start = next(iter(self._successors))
+        if len(self._forward_reachable(start)) != len(self._successors):
+            return False
+        if len(self._backward_reachable(start)) != len(self._successors):
+            return False
+        return True
+
+    def _forward_reachable(self, start: Marking) -> set[Marking]:
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for _, target in self._successors[current]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def _backward_reachable(self, start: Marking) -> set[Marking]:
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for _, source in self._predecessors[current]:
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return seen
+
+
+class StateSpaceLimitExceeded(RuntimeError):
+    """Raised when reachability exploration exceeds the marking limit."""
+
+
+def build_reachability_graph(
+    net: PetriNet,
+    initial: Optional[Marking] = None,
+    max_markings: Optional[int] = None,
+) -> ReachabilityGraph:
+    """Breadth-first exhaustive exploration of the reachable markings.
+
+    Parameters
+    ----------
+    net:
+        The Petri net.
+    initial:
+        Starting marking (default: the net's initial marking).
+    max_markings:
+        Optional safety bound; exceeding it raises
+        :class:`StateSpaceLimitExceeded`.  Used by benchmarks that demonstrate
+        the state-explosion of the baseline.
+    """
+    start = initial if initial is not None else net.initial_marking
+    graph = ReachabilityGraph(net, start)
+    graph._add_marking(start)
+    frontier: deque[Marking] = deque([start])
+    seen: set[Marking] = {start}
+    while frontier:
+        current = frontier.popleft()
+        for transition in net.enabled_transitions(current):
+            target = net.fire(transition, current)
+            if target not in seen:
+                if max_markings is not None and len(seen) >= max_markings:
+                    raise StateSpaceLimitExceeded(
+                        f"more than {max_markings} reachable markings"
+                    )
+                seen.add(target)
+                frontier.append(target)
+            graph._add_edge(current, transition, target)
+    return graph
+
+
+def count_reachable_markings(
+    net: PetriNet,
+    initial: Optional[Marking] = None,
+    max_markings: Optional[int] = None,
+) -> int:
+    """Count reachable markings without storing the edges."""
+    start = initial if initial is not None else net.initial_marking
+    frontier: deque[Marking] = deque([start])
+    seen: set[Marking] = {start}
+    while frontier:
+        current = frontier.popleft()
+        for transition in net.enabled_transitions(current):
+            target = net.fire(transition, current)
+            if target not in seen:
+                if max_markings is not None and len(seen) >= max_markings:
+                    raise StateSpaceLimitExceeded(
+                        f"more than {max_markings} reachable markings"
+                    )
+                seen.add(target)
+                frontier.append(target)
+    return len(seen)
+
+
+def random_walk(
+    net: PetriNet,
+    steps: int,
+    initial: Optional[Marking] = None,
+    seed: int = 0,
+) -> list[str]:
+    """A pseudo-random feasible firing sequence of at most ``steps`` firings.
+
+    Used by property-based tests and by the hazard simulator to exercise
+    arbitrary interleavings without building the full reachability graph.
+    """
+    import random
+
+    rng = random.Random(seed)
+    current = initial if initial is not None else net.initial_marking
+    sequence: list[str] = []
+    for _ in range(steps):
+        enabled = net.enabled_transitions(current)
+        if not enabled:
+            break
+        choice = rng.choice(enabled)
+        sequence.append(choice)
+        current = net.fire(choice, current)
+    return sequence
+
+
+def concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
+    """Exact transition-concurrency pairs extracted from a reachability graph.
+
+    Two transitions are concurrent when both are enabled at some marking and
+    firing one does not disable the other (Section II-B).  This is the oracle
+    against which the structural concurrency relation is validated.
+    """
+    net = graph.net
+    pairs: set[frozenset[str]] = set()
+    for marking in graph:
+        enabled = sorted(graph.enabled_transitions(marking))
+        for i, first in enumerate(enabled):
+            after_first = net.fire(first, marking)
+            for second in enabled[i + 1:]:
+                if not net.is_enabled(second, after_first):
+                    continue
+                after_second = net.fire(second, marking)
+                if net.is_enabled(first, after_second):
+                    pairs.add(frozenset((first, second)))
+    return pairs
+
+
+def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> dict[str, set[Marking]]:
+    """For every place, the set of reachable markings in which it is marked.
+
+    This is the exact *marked region* MR(p) (Definition 6) computed from the
+    reachability graph — the oracle for the structural cover-cube tests.
+    """
+    result: dict[str, set[Marking]] = {place: set() for place in places}
+    for marking in graph:
+        for place in marking.marked_places:
+            if place in result:
+                result[place].add(marking)
+    return result

@@ -1,0 +1,106 @@
+"""State coding checks (USC and CSC) on the encoded reachability graph.
+
+The unique state coding (USC) property requires every reachable marking to
+carry a distinct binary code; the weaker complete state coding (CSC) property
+allows markings to share a code only when the *output* signals enabled at
+them coincide (Section II-D).  CSC is the condition required for the
+existence of a consistent next-state function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.petri.marking import Marking
+from repro.stg.encoding import EncodedReachabilityGraph, encode_reachability_graph
+from repro.stg.stg import STG
+
+
+@dataclass
+class CodingConflict:
+    """A pair of markings sharing the same binary code."""
+
+    code: tuple[int, ...]
+    first: Marking
+    second: Marking
+    conflicting_signals: frozenset[str] = frozenset()
+
+    @property
+    def is_csc_conflict(self) -> bool:
+        """True if the shared code also disagrees on enabled output signals."""
+        return bool(self.conflicting_signals)
+
+
+@dataclass
+class CodingReport:
+    """Result of the USC/CSC analysis."""
+
+    satisfies_usc: bool
+    satisfies_csc: bool
+    usc_conflicts: list[CodingConflict] = field(default_factory=list)
+    csc_conflicts: list[CodingConflict] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.satisfies_csc
+
+
+def _enabled_output_signals(
+    stg: STG, encoded: EncodedReachabilityGraph, marking: Marking
+) -> frozenset[str]:
+    return frozenset(
+        stg.signal_of(t)
+        for t in encoded.graph.enabled_transitions(marking)
+        if not stg.is_input(stg.signal_of(t))
+    )
+
+
+def analyze_state_coding(
+    stg: STG,
+    encoded: Optional[EncodedReachabilityGraph] = None,
+) -> CodingReport:
+    """Full USC/CSC analysis by grouping markings by binary code."""
+    if encoded is None:
+        encoded = encode_reachability_graph(stg)
+    order = stg.signal_names
+    by_code: dict[tuple[int, ...], list[Marking]] = {}
+    for marking in encoded.markings:
+        code = tuple(encoded.code_of(marking)[s] for s in order)
+        by_code.setdefault(code, []).append(marking)
+
+    usc_conflicts: list[CodingConflict] = []
+    csc_conflicts: list[CodingConflict] = []
+    for code, markings in by_code.items():
+        if len(markings) < 2:
+            continue
+        outputs = [
+            _enabled_output_signals(stg, encoded, marking) for marking in markings
+        ]
+        for i in range(len(markings)):
+            for j in range(i + 1, len(markings)):
+                difference = outputs[i] ^ outputs[j]
+                conflict = CodingConflict(
+                    code=code,
+                    first=markings[i],
+                    second=markings[j],
+                    conflicting_signals=frozenset(difference),
+                )
+                usc_conflicts.append(conflict)
+                if difference:
+                    csc_conflicts.append(conflict)
+    return CodingReport(
+        satisfies_usc=not usc_conflicts,
+        satisfies_csc=not csc_conflicts,
+        usc_conflicts=usc_conflicts,
+        csc_conflicts=csc_conflicts,
+    )
+
+
+def check_usc(stg: STG, encoded: Optional[EncodedReachabilityGraph] = None) -> bool:
+    """True if every reachable marking has a unique binary code."""
+    return analyze_state_coding(stg, encoded).satisfies_usc
+
+
+def check_csc(stg: STG, encoded: Optional[EncodedReachabilityGraph] = None) -> bool:
+    """True if markings sharing a code enable the same output signals."""
+    return analyze_state_coding(stg, encoded).satisfies_csc

@@ -1,0 +1,66 @@
+"""Next-state functions derived from exact signal regions.
+
+The next-state function of an output signal ``a`` (Section II-E) maps every
+binary code to:
+
+* 1 on ``GER(a+) ∪ GQR(a=1)``,
+* 0 on ``GER(a-) ∪ GQR(a=0)``,
+* don't-care elsewhere (unreachable codes).
+
+For a consistent STG satisfying CSC, the three sets are a consistent
+partition of the Boolean space (no code is claimed both 0 and 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.statebased.regions import SignalRegions, compute_signal_regions
+from repro.stg.stg import STG
+
+
+def next_state_function(
+    stg: STG,
+    signal: str,
+    regions: Optional[SignalRegions] = None,
+) -> BooleanFunction:
+    """The incompletely specified next-state function of one signal."""
+    if regions is None:
+        regions = compute_signal_regions(stg, signals=[signal])
+    on_markings = regions.ger(signal, "+") | regions.gqr(signal, 1)
+    off_markings = regions.ger(signal, "-") | regions.gqr(signal, 0)
+    on_set = regions.codes_of(on_markings)
+    off_set = regions.codes_of(off_markings)
+    variables = stg.signal_names
+    dc_set = Cover.universe(variables).sharp(on_set).sharp(off_set)
+    return BooleanFunction(on_set, off_set, dc_set, variables, name=signal)
+
+
+def next_state_functions(
+    stg: STG,
+    regions: Optional[SignalRegions] = None,
+    signals: Optional[list[str]] = None,
+) -> dict[str, BooleanFunction]:
+    """Next-state functions for all (or the given) non-input signals."""
+    targets = signals if signals is not None else stg.non_input_signals
+    if regions is None:
+        regions = compute_signal_regions(stg, signals=targets)
+    return {
+        signal: next_state_function(stg, signal, regions) for signal in targets
+    }
+
+
+def next_state_value(
+    stg: STG,
+    regions: SignalRegions,
+    signal: str,
+    marking,
+) -> Optional[int]:
+    """Implied next-state value of a signal at one reachable marking."""
+    if marking in regions.ger(signal, "+") or marking in regions.gqr(signal, 1):
+        return 1
+    if marking in regions.ger(signal, "-") or marking in regions.gqr(signal, 0):
+        return 0
+    return None

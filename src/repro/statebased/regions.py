@@ -1,0 +1,222 @@
+"""Exact signal regions computed from the encoded reachability graph.
+
+Implements the region definitions of Section II-C as explicit sets of
+reachable markings:
+
+* ``ER(t)`` — excitation region: markings enabling transition ``t``;
+* ``QR(t)`` — quiescent region: maximal set of markings reached from
+  ``ER(t)`` after firing ``t`` without enabling any other transition of the
+  same signal;
+* ``RQR(t)`` — restricted quiescent region: ``QR(t)`` minus markings shared
+  with other quiescent regions of the signal (used by the per-excitation-
+  region architecture, equation (4));
+* ``BR(t)`` — backward quiescent region (Appendix E): maximal set of
+  markings that can reach ``ER(t)`` without enabling any other transition of
+  the same signal;
+* generalized regions ``GER`` / ``GQR`` as unions over a signal's
+  transitions.
+
+Each region can be converted to a cover of binary codes with
+:meth:`SignalRegions.codes_of`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.petri.marking import Marking
+from repro.stg.encoding import EncodedReachabilityGraph, encode_reachability_graph
+from repro.stg.stg import STG
+
+
+@dataclass
+class SignalRegions:
+    """All signal regions of one STG, computed state-based."""
+
+    stg: STG
+    encoded: EncodedReachabilityGraph
+    excitation: dict[str, set[Marking]] = field(default_factory=dict)
+    quiescent: dict[str, set[Marking]] = field(default_factory=dict)
+    restricted_quiescent: dict[str, set[Marking]] = field(default_factory=dict)
+    backward: dict[str, set[Marking]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Region accessors
+    # ------------------------------------------------------------------ #
+
+    def er(self, transition: str) -> set[Marking]:
+        """Excitation region of a transition."""
+        return set(self.excitation[transition])
+
+    def qr(self, transition: str) -> set[Marking]:
+        """Quiescent region of a transition."""
+        return set(self.quiescent[transition])
+
+    def rqr(self, transition: str) -> set[Marking]:
+        """Restricted quiescent region of a transition."""
+        return set(self.restricted_quiescent[transition])
+
+    def br(self, transition: str) -> set[Marking]:
+        """Backward quiescent region of a transition."""
+        return set(self.backward[transition])
+
+    def ger(self, signal: str, direction: str) -> set[Marking]:
+        """Generalized excitation region GER(signal direction)."""
+        result: set[Marking] = set()
+        for transition in self.stg.transitions_by_direction(signal, direction):
+            result |= self.excitation[transition]
+        return result
+
+    def gqr(self, signal: str, value: int) -> set[Marking]:
+        """Generalized quiescent region GQR(signal = value).
+
+        ``value=1`` is the union of the quiescent regions of the rising
+        transitions, ``value=0`` of the falling transitions.
+        """
+        direction = "+" if value == 1 else "-"
+        result: set[Marking] = set()
+        for transition in self.stg.transitions_by_direction(signal, direction):
+            result |= self.quiescent[transition]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Binary-code conversions
+    # ------------------------------------------------------------------ #
+
+    def codes_of(self, markings: set[Marking]) -> Cover:
+        """Characteristic cover (set of minterms) of a set of markings."""
+        signals = self.stg.signal_names
+        vertices = [self.encoded.code_of(m) for m in markings]
+        return Cover.from_vertices(vertices, signals)
+
+    def er_codes(self, transition: str) -> Cover:
+        """Binary codes of ER(t)."""
+        return self.codes_of(self.excitation[transition])
+
+    def qr_codes(self, transition: str) -> Cover:
+        """Binary codes of QR(t)."""
+        return self.codes_of(self.quiescent[transition])
+
+    def ger_codes(self, signal: str, direction: str) -> Cover:
+        """Binary codes of GER(signal direction)."""
+        return self.codes_of(self.ger(signal, direction))
+
+    def gqr_codes(self, signal: str, value: int) -> Cover:
+        """Binary codes of GQR(signal = value)."""
+        return self.codes_of(self.gqr(signal, value))
+
+    def dc_codes(self) -> Cover:
+        """Binary codes NOT used by any reachable marking (the RG dc-set)."""
+        signals = self.stg.signal_names
+        used = self.codes_of(set(self.encoded.markings))
+        return Cover.universe(signals).sharp(used)
+
+
+def _quiescent_region(
+    stg: STG,
+    encoded: EncodedReachabilityGraph,
+    transition: str,
+) -> set[Marking]:
+    """Forward closure from the post-firing markings of a transition,
+    stopping at markings that enable another transition of the signal."""
+    graph = encoded.graph
+    signal = stg.signal_of(transition)
+    signal_transitions = set(stg.transitions_of_signal(stg.signal_of(transition)))
+    start_markings: list[Marking] = []
+    for marking in graph.markings_enabling(transition):
+        for label, target in graph.successors(marking):
+            if label == transition:
+                start_markings.append(target)
+    region: set[Marking] = set()
+    frontier: deque[Marking] = deque()
+    for marking in start_markings:
+        enabled = graph.enabled_transitions(marking)
+        if enabled & signal_transitions:
+            continue
+        if marking not in region:
+            region.add(marking)
+            frontier.append(marking)
+    while frontier:
+        current = frontier.popleft()
+        for label, target in graph.successors(current):
+            if target in region:
+                continue
+            enabled = graph.enabled_transitions(target)
+            if enabled & signal_transitions:
+                continue
+            region.add(target)
+            frontier.append(target)
+    del signal  # kept for readability of the derivation above
+    return region
+
+
+def _backward_region(
+    stg: STG,
+    encoded: EncodedReachabilityGraph,
+    transition: str,
+) -> set[Marking]:
+    """Backward closure from ER(t), stopping at markings that enable another
+    transition of the signal (Appendix E)."""
+    graph = encoded.graph
+    signal_transitions = set(stg.transitions_of_signal(stg.signal_of(transition)))
+    other_transitions = signal_transitions - {transition}
+    excitation = set(graph.markings_enabling(transition))
+    region: set[Marking] = set()
+    frontier: deque[Marking] = deque(excitation)
+    seen: set[Marking] = set(excitation)
+    while frontier:
+        current = frontier.popleft()
+        for label, source in graph.predecessors(current):
+            if source in seen:
+                continue
+            enabled = graph.enabled_transitions(source)
+            if enabled & other_transitions:
+                continue
+            if transition in enabled:
+                # still inside the excitation region; keep walking backwards
+                seen.add(source)
+                frontier.append(source)
+                continue
+            seen.add(source)
+            region.add(source)
+            frontier.append(source)
+    return region
+
+
+def compute_signal_regions(
+    stg: STG,
+    encoded: Optional[EncodedReachabilityGraph] = None,
+    signals: Optional[list[str]] = None,
+    compute_backward: bool = True,
+) -> SignalRegions:
+    """Compute all signal regions of an STG from its reachability graph."""
+    if encoded is None:
+        encoded = encode_reachability_graph(stg)
+    graph = encoded.graph
+    regions = SignalRegions(stg=stg, encoded=encoded)
+    selected_signals = set(signals) if signals is not None else set(stg.signal_names)
+
+    for transition in stg.transitions:
+        if stg.signal_of(transition) not in selected_signals:
+            continue
+        regions.excitation[transition] = set(graph.markings_enabling(transition))
+        regions.quiescent[transition] = _quiescent_region(stg, encoded, transition)
+        if compute_backward:
+            regions.backward[transition] = _backward_region(stg, encoded, transition)
+        else:
+            regions.backward[transition] = set()
+
+    # Restricted quiescent regions: remove markings shared with other QRs of
+    # the same signal.
+    for transition in list(regions.quiescent):
+        signal = stg.signal_of(transition)
+        others: set[Marking] = set()
+        for other in stg.transitions_of_signal(signal):
+            if other == transition or other not in regions.quiescent:
+                continue
+            others |= regions.quiescent[other]
+        regions.restricted_quiescent[transition] = regions.quiescent[transition] - others
+    return regions

@@ -1,0 +1,151 @@
+"""Exhaustive state-based synthesis baseline (SIS / ASSASSIN style).
+
+This engine performs the explicit token-flow analysis that the structural
+flow avoids: the full reachability graph is generated and encoded, the exact
+signal regions are extracted as sets of markings, and the set/reset covers
+are minimized against the exact off-sets.  Its purpose in the reproduction is
+twofold: it is the correctness oracle of the test-suite, and it plays the
+role of the state-based comparators in Tables V–VII (its run time explodes
+with the number of markings while the structural engine's does not).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.boolean.minimize import minimize_cover
+from repro.statebased.coding import analyze_state_coding
+from repro.statebased.regions import SignalRegions, compute_signal_regions
+from repro.stg.consistency import check_consistency_state_based
+from repro.stg.encoding import encode_reachability_graph
+from repro.stg.stg import STG
+from repro.synthesis.conditions import (
+    check_cover_correctness,
+    check_monotonicity_state_based,
+)
+from repro.synthesis.netlist import (
+    Circuit,
+    combinational_implementation,
+    latch_implementation,
+)
+
+
+class StateBasedSynthesisError(RuntimeError):
+    """Raised when the specification cannot be synthesized state-based."""
+
+
+@dataclass
+class StateBasedResult:
+    """Synthesized circuit plus the exact regions and statistics."""
+
+    circuit: Circuit
+    regions: SignalRegions
+    statistics: dict = field(default_factory=dict)
+
+
+def synthesize_state_based(
+    stg: STG,
+    signals: Optional[list[str]] = None,
+    allow_combinational: bool = True,
+    check_specification: bool = True,
+    max_markings: Optional[int] = None,
+) -> StateBasedResult:
+    """Synthesize a circuit by exhaustive reachability analysis.
+
+    Parameters
+    ----------
+    max_markings:
+        Optional bound on the explored state space; exceeding it raises
+        :class:`repro.petri.reachability.StateSpaceLimitExceeded` (used by the
+        scalability experiments to document where the baseline gives up).
+    """
+    start = time.perf_counter()
+    stats: dict = {}
+    from repro.petri.reachability import build_reachability_graph
+
+    graph = build_reachability_graph(stg.net, max_markings=max_markings)
+    stats["markings"] = len(graph)
+    encoded = encode_reachability_graph(stg, graph)
+
+    if check_specification:
+        report = check_consistency_state_based(stg, graph)
+        if not report.consistent:
+            raise StateBasedSynthesisError(f"inconsistent STG: {report.message}")
+        coding = analyze_state_coding(stg, encoded)
+        if not coding.satisfies_csc:
+            raise StateBasedSynthesisError(
+                f"CSC violations: {len(coding.csc_conflicts)} conflicting pairs"
+            )
+
+    targets = signals if signals is not None else stg.non_input_signals
+    regions = compute_signal_regions(stg, encoded, signals=targets)
+    variables = tuple(stg.signal_names)
+    unreachable = regions.dc_codes()
+
+    circuit = Circuit(name=stg.name, signal_order=variables)
+    for signal in targets:
+        circuit.implementations[signal] = _synthesize_signal(
+            stg, regions, signal, unreachable, allow_combinational
+        )
+    stats["seconds"] = time.perf_counter() - start
+    return StateBasedResult(circuit=circuit, regions=regions, statistics=stats)
+
+
+def _synthesize_signal(
+    stg: STG,
+    regions: SignalRegions,
+    signal: str,
+    unreachable: Cover,
+    allow_combinational: bool,
+):
+    """Derive the implementation of one signal from the exact regions."""
+    variables = tuple(stg.signal_names)
+    ger_plus = regions.ger_codes(signal, "+")
+    ger_minus = regions.ger_codes(signal, "-")
+    gqr_one = regions.gqr_codes(signal, 1)
+    gqr_zero = regions.gqr_codes(signal, 0)
+
+    if allow_combinational:
+        # Complex gate per signal: a cover of the full next-state function.
+        on_set = ger_plus.union(gqr_one)
+        off_set = ger_minus.union(gqr_zero)
+        cover = minimize_cover(on_set, off_set, unreachable)
+        if check_cover_correctness(on_set, off_set, cover):
+            # only keep the combinational form when it is actually cheaper
+            set_candidate, reset_candidate = _set_reset_covers(
+                stg, regions, signal, unreachable
+            )
+            latch_cost = set_candidate.num_literals() + reset_candidate.num_literals() + 4
+            if cover.num_literals() <= latch_cost:
+                return combinational_implementation(signal, cover)
+            return latch_implementation(signal, set_candidate, reset_candidate)
+
+    set_cover, reset_cover = _set_reset_covers(stg, regions, signal, unreachable)
+    return latch_implementation(signal, set_cover, reset_cover)
+
+
+def _set_reset_covers(
+    stg: STG,
+    regions: SignalRegions,
+    signal: str,
+    unreachable: Cover,
+) -> tuple[Cover, Cover]:
+    """Minimized set and reset covers against the exact off-sets."""
+    ger_plus = regions.ger_codes(signal, "+")
+    ger_minus = regions.ger_codes(signal, "-")
+    gqr_one = regions.gqr_codes(signal, 1)
+    gqr_zero = regions.gqr_codes(signal, 0)
+
+    set_off = ger_minus.union(gqr_zero)
+    reset_off = ger_plus.union(gqr_one)
+    set_cover = minimize_cover(ger_plus, set_off, gqr_one.union(unreachable))
+    reset_cover = minimize_cover(ger_minus, reset_off, gqr_zero.union(unreachable))
+
+    if not check_monotonicity_state_based(stg, regions, signal, set_cover, "+"):
+        set_cover = ger_plus
+    if not check_monotonicity_state_based(stg, regions, signal, reset_cover, "-"):
+        reset_cover = ger_minus
+    return set_cover, reset_cover

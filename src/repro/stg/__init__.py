@@ -1,0 +1,29 @@
+"""Signal transition graphs (STGs).
+
+An STG is a Petri net whose transitions are interpreted as rising (``+``) or
+falling (``-``) transitions of circuit signals (Section II-B of the paper).
+This package provides the STG data structure, the astg/SIS ``.g`` text format
+parser and writer, marking encodings, and the state-based consistency check
+used as an oracle for the structural one.
+"""
+
+from repro.stg.signals import SignalType, SignalTransition, parse_transition_label
+from repro.stg.stg import STG
+from repro.stg.parser import parse_g, load_g
+from repro.stg.writer import write_g
+from repro.stg.encoding import EncodedReachabilityGraph, encode_reachability_graph
+from repro.stg.consistency import check_consistency_state_based, ConsistencyReport
+
+__all__ = [
+    "SignalType",
+    "SignalTransition",
+    "parse_transition_label",
+    "STG",
+    "parse_g",
+    "load_g",
+    "write_g",
+    "EncodedReachabilityGraph",
+    "encode_reachability_graph",
+    "check_consistency_state_based",
+    "ConsistencyReport",
+]

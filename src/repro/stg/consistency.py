@@ -1,0 +1,163 @@
+"""State-based consistency checking of STGs.
+
+An STG satisfies the consistency condition when it has no autoconcurrent
+transitions and every firing sequence is switchover correct (Section V-B).
+This module checks consistency on the reachability graph — it is the oracle
+against which the *structural* consistency algorithm
+(:mod:`repro.structural.consistency`) is validated, and it also reports
+output-semimodularity violations (Section II-B), the remaining specification
+correctness condition besides CSC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.petri.marking import Marking
+from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
+from repro.stg.encoding import EncodingError, encode_reachability_graph, infer_initial_values
+from repro.stg.stg import STG
+
+
+@dataclass
+class ConsistencyReport:
+    """Result of the state-based consistency / semimodularity analysis."""
+
+    consistent: bool
+    autoconcurrent_pairs: list[tuple[str, str]] = field(default_factory=list)
+    switchover_violations: list[str] = field(default_factory=list)
+    semimodularity_violations: list[tuple[str, str]] = field(default_factory=list)
+    message: str = ""
+
+    @property
+    def output_semimodular(self) -> bool:
+        """True when no enabled output transition can be disabled."""
+        return not self.semimodularity_violations
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def find_autoconcurrent_pairs(
+    stg: STG, graph: ReachabilityGraph
+) -> list[tuple[str, str]]:
+    """Pairs of same-signal transitions that are simultaneously enabled."""
+    pairs: set[tuple[str, str]] = set()
+    for marking in graph:
+        enabled = sorted(graph.enabled_transitions(marking))
+        for i, first in enumerate(enabled):
+            for second in enabled[i + 1:]:
+                if first == second:
+                    continue
+                if stg.signal_of(first) == stg.signal_of(second):
+                    pairs.add((first, second))
+    return sorted(pairs)
+
+
+def find_semimodularity_violations(
+    stg: STG, graph: ReachabilityGraph
+) -> list[tuple[str, str]]:
+    """Output transitions disabled by the firing of another transition.
+
+    Returns pairs ``(disabled_output_transition, disabling_transition)``.
+    """
+    violations: set[tuple[str, str]] = set()
+    net = stg.net
+    for marking in graph:
+        enabled = graph.enabled_transitions(marking)
+        outputs_enabled = [
+            t for t in enabled if not stg.is_input(stg.signal_of(t))
+        ]
+        if not outputs_enabled:
+            continue
+        for fired, target in graph.successors(marking):
+            for output in outputs_enabled:
+                if output == fired:
+                    continue
+                if stg.signal_of(output) == stg.signal_of(fired):
+                    # Same-signal conflicts are autoconcurrency/consistency
+                    # matters, not semimodularity.
+                    continue
+                if not net.is_enabled(output, target):
+                    violations.add((output, fired))
+    return sorted(violations)
+
+
+def check_consistency_state_based(
+    stg: STG,
+    graph: Optional[ReachabilityGraph] = None,
+    check_semimodularity: bool = True,
+) -> ConsistencyReport:
+    """Full state-based consistency check of an STG.
+
+    Checks (1) nonautoconcurrency, (2) switchover correctness via the marking
+    encoding, and optionally (3) output semimodularity.
+    """
+    if graph is None:
+        graph = build_reachability_graph(stg.net)
+    autoconcurrent = find_autoconcurrent_pairs(stg, graph)
+    switchover: list[str] = []
+    try:
+        encode_reachability_graph(
+            stg, graph, initial_values=infer_initial_values(stg, graph), strict=True
+        )
+    except EncodingError as error:
+        switchover.append(str(error))
+    semimodularity: list[tuple[str, str]] = []
+    if check_semimodularity:
+        semimodularity = find_semimodularity_violations(stg, graph)
+
+    consistent = not autoconcurrent and not switchover
+    message = "consistent" if consistent else "inconsistent"
+    if autoconcurrent:
+        message += f"; autoconcurrent pairs: {autoconcurrent}"
+    if switchover:
+        message += f"; switchover violations: {switchover}"
+    if semimodularity:
+        message += f"; semimodularity violations: {semimodularity}"
+    return ConsistencyReport(
+        consistent=consistent,
+        autoconcurrent_pairs=autoconcurrent,
+        switchover_violations=switchover,
+        semimodularity_violations=semimodularity,
+        message=message,
+    )
+
+
+def adjacent_transition_pairs(
+    stg: STG, graph: Optional[ReachabilityGraph] = None
+) -> dict[str, set[str]]:
+    """State-based ``next`` relation: for every transition, its successors.
+
+    ``b`` is in ``next(a)`` when some feasible sequence fires ``a``, then
+    fires ``b`` without any other transition of the same signal in between
+    (Section II-B).  Computed by a BFS from every post-firing marking that
+    stops at transitions of the signal.  This is the oracle for the
+    structural adjacency characterization (Properties 4 and 5).
+    """
+    if graph is None:
+        graph = build_reachability_graph(stg.net)
+    result: dict[str, set[str]] = {t: set() for t in stg.transitions}
+    for transition in stg.transitions:
+        signal = stg.signal_of(transition)
+        starts = [
+            target
+            for marking in graph.markings_enabling(transition)
+            for label, target in graph.successors(marking)
+            if label == transition
+        ]
+        seen: set[Marking] = set()
+        frontier = list(dict.fromkeys(starts))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for label, target in graph.successors(current):
+                if stg.signal_of(label) == signal:
+                    result[transition].add(label)
+                    continue
+                if target not in seen:
+                    frontier.append(target)
+    return result

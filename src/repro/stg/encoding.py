@@ -1,0 +1,183 @@
+"""Binary encoding of reachable markings.
+
+Each reachable marking of a consistent STG has a unique binary vector of
+signal values (the labelling function ``v`` of Section II-B).  This module
+computes the encoded reachability graph by token-flow analysis; it is the
+state-based oracle used to validate the structural approximations and is the
+workhorse of the baseline synthesis engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.petri.marking import Marking
+from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
+from repro.stg.stg import STG
+
+
+class EncodingError(ValueError):
+    """Raised when no consistent binary encoding of the markings exists."""
+
+
+class EncodedReachabilityGraph:
+    """A reachability graph together with the binary code of every marking."""
+
+    def __init__(
+        self,
+        stg: STG,
+        graph: ReachabilityGraph,
+        codes: dict[Marking, dict[str, int]],
+        initial_values: dict[str, int],
+    ):
+        self.stg = stg
+        self.graph = graph
+        self._codes = codes
+        self.initial_values = dict(initial_values)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def markings(self) -> list[Marking]:
+        """All reachable markings."""
+        return self.graph.markings
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def code_of(self, marking: Marking) -> dict[str, int]:
+        """The binary signal vector of a marking."""
+        return dict(self._codes[marking])
+
+    def code_string(self, marking: Marking, order: Optional[list[str]] = None) -> str:
+        """The binary code of a marking as a string over a signal order."""
+        signals = order if order is not None else self.stg.signal_names
+        code = self._codes[marking]
+        return "".join(str(code[s]) for s in signals)
+
+    def value(self, marking: Marking, signal: str) -> int:
+        """Binary value of one signal at a marking."""
+        return self._codes[marking][signal]
+
+    def markings_with_code(self, code: dict[str, int]) -> list[Marking]:
+        """All markings whose code matches the (complete) assignment."""
+        return [
+            marking for marking, existing in self._codes.items()
+            if all(existing[s] == v for s, v in code.items())
+        ]
+
+    def codes(self) -> dict[Marking, dict[str, int]]:
+        """A copy of the full marking→code mapping."""
+        return {marking: dict(code) for marking, code in self._codes.items()}
+
+    def used_codes(self) -> set[tuple[int, ...]]:
+        """The set of binary codes (tuples over the signal order) in use."""
+        order = self.stg.signal_names
+        return {
+            tuple(code[s] for s in order) for code in self._codes.values()
+        }
+
+    def enabled_transitions(self, marking: Marking) -> set[str]:
+        """Transitions enabled at a marking."""
+        return self.graph.enabled_transitions(marking)
+
+    def enabled_output_transitions(self, marking: Marking) -> set[str]:
+        """Non-input transitions enabled at a marking (for CSC checks)."""
+        return {
+            t for t in self.graph.enabled_transitions(marking)
+            if not self.stg.is_input(self.stg.signal_of(t))
+        }
+
+
+def infer_initial_values(
+    stg: STG,
+    graph: Optional[ReachabilityGraph] = None,
+) -> dict[str, int]:
+    """Infer the initial binary value of every signal.
+
+    Declared values are taken as-is; for the rest, the value is derived from
+    the direction of the first transition of the signal reachable from the
+    initial marking (``0`` if a rising transition is reached first).  Signals
+    with no transitions default to 0.
+    """
+    values = dict(stg.initial_values)
+    missing = [s for s in stg.signal_names if s not in values]
+    if not missing:
+        return values
+    if graph is None:
+        graph = build_reachability_graph(stg.net)
+    pending = set(missing)
+    frontier: deque[Marking] = deque([graph.initial])
+    seen: set[Marking] = {graph.initial}
+    while frontier and pending:
+        current = frontier.popleft()
+        for transition, target in graph.successors(current):
+            label = stg.label(transition)
+            if label.signal in pending and label.direction in "+-":
+                values[label.signal] = label.source_value
+                pending.discard(label.signal)
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    for signal in pending:
+        values[signal] = 0
+    return values
+
+
+def encode_reachability_graph(
+    stg: STG,
+    graph: Optional[ReachabilityGraph] = None,
+    initial_values: Optional[dict[str, int]] = None,
+    strict: bool = True,
+) -> EncodedReachabilityGraph:
+    """Compute binary codes for all reachable markings.
+
+    Codes are propagated along the edges of the reachability graph starting
+    from the initial values; a rising transition sets its signal to 1, a
+    falling transition to 0.
+
+    Parameters
+    ----------
+    strict:
+        When True (default) an :class:`EncodingError` is raised if a
+        transition fires from a marking where its signal already has the
+        target value (switchover violation) or if a marking receives two
+        different codes along different paths.  With ``strict=False`` the
+        first code reached wins, which is useful for diagnosing inconsistent
+        specifications.
+    """
+    if graph is None:
+        graph = build_reachability_graph(stg.net)
+    if initial_values is None:
+        initial_values = infer_initial_values(stg, graph)
+    for signal in stg.signal_names:
+        if signal not in initial_values:
+            initial_values[signal] = 0
+
+    codes: dict[Marking, dict[str, int]] = {graph.initial: dict(initial_values)}
+    frontier: deque[Marking] = deque([graph.initial])
+    while frontier:
+        current = frontier.popleft()
+        current_code = codes[current]
+        for transition, target in graph.successors(current):
+            label = stg.label(transition)
+            new_code = dict(current_code)
+            if label.direction in "+-":
+                if strict and current_code[label.signal] != label.source_value:
+                    raise EncodingError(
+                        f"switchover violation: {transition} fires while "
+                        f"{label.signal}={current_code[label.signal]}"
+                    )
+                new_code[label.signal] = label.target_value
+            existing = codes.get(target)
+            if existing is None:
+                codes[target] = new_code
+                frontier.append(target)
+            elif existing != new_code:
+                if strict:
+                    raise EncodingError(
+                        f"inconsistent encoding for marking {target}: "
+                        f"{existing} vs {new_code}"
+                    )
+    return EncodedReachabilityGraph(stg, graph, codes, initial_values)

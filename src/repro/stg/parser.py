@@ -1,0 +1,172 @@
+"""Parser for the astg / SIS ``.g`` signal-transition-graph text format.
+
+The format (used by SIS, petrify, and the classic asynchronous benchmark
+suites) looks like::
+
+    .model example
+    .inputs a b
+    .outputs c d
+    .graph
+    a+ b+
+    b+ c+ d+
+    c+ a-
+    d+ a-
+    a- b-
+    b- a+
+    .marking { <b-,a+> }
+    .end
+
+Edges connect transitions and explicit places; a transition→transition edge
+implies an implicit place written ``<t1,t2>`` in ``.marking``.  Explicit
+places are any identifiers that are not parseable as transitions of declared
+signals.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Optional
+
+from repro.stg.signals import SignalType, parse_transition_label
+from repro.stg.stg import STG
+
+
+class GFormatError(ValueError):
+    """Raised when a ``.g`` description cannot be parsed."""
+
+
+_MARKING_TOKEN_RE = re.compile(r"<[^>]*>|[^\s{}]+")
+
+
+def parse_g(text: str, name: Optional[str] = None) -> STG:
+    """Parse a ``.g`` format STG description from a string."""
+    model_name = name or "stg"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    internal: list[str] = []
+    dummies: list[str] = []
+    graph_lines: list[str] = []
+    marking_tokens: list[str] = []
+    initial_values: dict[str, int] = {}
+
+    in_graph = False
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            in_graph = False
+            directive, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if directive == ".model" or directive == ".name":
+                if rest:
+                    model_name = rest.split()[0]
+            elif directive == ".inputs":
+                inputs.extend(rest.split())
+            elif directive == ".outputs":
+                outputs.extend(rest.split())
+            elif directive == ".internal":
+                internal.extend(rest.split())
+            elif directive == ".dummy":
+                dummies.extend(rest.split())
+            elif directive == ".graph":
+                in_graph = True
+            elif directive == ".marking":
+                marking_tokens.extend(_MARKING_TOKEN_RE.findall(rest))
+            elif directive == ".initial" or directive == ".init":
+                # non-standard extension: ".initial a=0 b=1"
+                for token in rest.split():
+                    if "=" in token:
+                        signal, _, value = token.partition("=")
+                        initial_values[signal] = int(value)
+            elif directive in (".end", ".capacity", ".slowenv", ".coords"):
+                continue
+            else:
+                # Unknown directives are ignored for robustness.
+                continue
+        else:
+            if in_graph:
+                graph_lines.append(line)
+            else:
+                raise GFormatError(f"unexpected line outside .graph section: {raw_line!r}")
+
+    if not graph_lines:
+        raise GFormatError("no .graph section found")
+
+    stg = STG(model_name)
+    for signal in inputs:
+        stg.add_signal(signal, SignalType.INPUT)
+    for signal in outputs:
+        stg.add_signal(signal, SignalType.OUTPUT)
+    for signal in internal:
+        stg.add_signal(signal, SignalType.INTERNAL)
+    for signal in dummies:
+        stg.add_signal(signal, SignalType.DUMMY)
+
+    declared = set(inputs) | set(outputs) | set(internal) | set(dummies)
+
+    def is_transition_token(token: str) -> bool:
+        try:
+            parsed = parse_transition_label(token)
+        except ValueError:
+            return False
+        if parsed.signal not in declared:
+            return False
+        if parsed.signal in dummies:
+            return True
+        return parsed.direction in "+-"
+
+    # First pass: collect the node set of each line.
+    edges: list[tuple[str, str]] = []
+    for line in graph_lines:
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise GFormatError(f"graph line with a single node: {line!r}")
+        source, targets = tokens[0], tokens[1:]
+        for target in targets:
+            edges.append((source, target))
+
+    # Create nodes.
+    for source, target in edges:
+        for token in (source, target):
+            if stg.net.has_node(token):
+                continue
+            if is_transition_token(token):
+                stg.add_transition(token)
+            else:
+                stg.add_place(token)
+    # Create arcs (implicit places inserted automatically).
+    for source, target in edges:
+        stg.add_arc(source, target)
+
+    # Marking.
+    marked: list[str] = []
+    for token in marking_tokens:
+        if token.startswith("<") and token.endswith(">"):
+            inner = token[1:-1]
+            parts = [part.strip() for part in inner.split(",")]
+            if len(parts) != 2:
+                raise GFormatError(f"malformed implicit place token {token!r}")
+            place = f"<{parts[0]},{parts[1]}>"
+            if not stg.net.is_place(place):
+                raise GFormatError(f"marking refers to unknown implicit place {place!r}")
+            marked.append(place)
+        else:
+            if not stg.net.is_place(token):
+                raise GFormatError(f"marking refers to unknown place {token!r}")
+            marked.append(token)
+    if not marked:
+        raise GFormatError("no .marking section found")
+    stg.set_marking(marked)
+    if initial_values:
+        stg.set_initial_values(initial_values)
+    return stg
+
+
+def load_g(path: str | os.PathLike) -> STG:
+    """Load an STG from a ``.g`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    name = os.path.splitext(os.path.basename(str(path)))[0]
+    return parse_g(text, name=name)

@@ -1,0 +1,85 @@
+"""Writer for the astg / SIS ``.g`` signal-transition-graph text format.
+
+The writer emits a description that :func:`repro.stg.parser.parse_g` parses
+back to an equivalent STG (same signals, same net structure up to implicit
+place naming, same marking); round-tripping is covered by the test-suite.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Optional
+
+from repro.stg.stg import STG
+
+_IMPLICIT_RE = re.compile(r"^<([^,]+),([^>]+)>$")
+
+
+def _is_implicit(stg: STG, place: str) -> Optional[tuple[str, str]]:
+    """If a place is implicit (single pred/succ transition), return the pair."""
+    predecessors = stg.net.preset(place)
+    successors = stg.net.postset(place)
+    if len(predecessors) == 1 and len(successors) == 1:
+        return next(iter(predecessors)), next(iter(successors))
+    return None
+
+
+def write_g(stg: STG, path: Optional[str | os.PathLike] = None) -> str:
+    """Serialize an STG to ``.g`` text; optionally write it to ``path``."""
+    lines: list[str] = [f".model {stg.name}"]
+    if stg.input_signals:
+        lines.append(".inputs " + " ".join(stg.input_signals))
+    if stg.output_signals:
+        lines.append(".outputs " + " ".join(stg.output_signals))
+    if stg.internal_signals:
+        lines.append(".internal " + " ".join(stg.internal_signals))
+    lines.append(".graph")
+
+    # Adjacency: transitions first, then explicit places.
+    implicit_pairs: dict[str, tuple[str, str]] = {}
+    explicit_places: list[str] = []
+    for place in stg.places:
+        pair = _is_implicit(stg, place)
+        if pair is not None:
+            implicit_pairs[place] = pair
+        else:
+            explicit_places.append(place)
+
+    emitted: set[tuple[str, str]] = set()
+    for transition in stg.transitions:
+        targets: list[str] = []
+        for successor in sorted(stg.net.postset(transition)):
+            if successor in implicit_pairs:
+                _, next_transition = implicit_pairs[successor]
+                targets.append(next_transition)
+                emitted.add((transition, successor))
+                emitted.add((successor, next_transition))
+            else:
+                targets.append(successor)
+                emitted.add((transition, successor))
+        if targets:
+            lines.append(f"{transition} " + " ".join(targets))
+    for place in explicit_places:
+        targets = sorted(stg.net.postset(place))
+        if targets:
+            lines.append(f"{place} " + " ".join(targets))
+            emitted.update((place, target) for target in targets)
+
+    marked: list[str] = []
+    for place in sorted(stg.initial_marking.marked_places):
+        if place in implicit_pairs:
+            source, target = implicit_pairs[place]
+            marked.append(f"<{source},{target}>")
+        else:
+            marked.append(place)
+    lines.append(".marking { " + " ".join(marked) + " }")
+    if stg.initial_values:
+        pairs = " ".join(f"{s}={v}" for s, v in sorted(stg.initial_values.items()))
+        lines.append(f".initial {pairs}")
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

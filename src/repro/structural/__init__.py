@@ -1,0 +1,52 @@
+"""Structural analysis and approximation engine (the paper's contribution).
+
+The modules in this package analyse an STG *without enumerating its
+reachability graph*:
+
+* :mod:`concurrency` — the concurrency relation between nodes and the signal
+  concurrency relation (Section V-A), computed by the polynomial fixed-point
+  algorithm for live and safe free-choice nets;
+* :mod:`adjacency` — the structural ``next``/``prev`` relation between
+  transitions of the same signal (Properties 4 and 5), including forward
+  reduction;
+* :mod:`consistency` — structural consistency verification (Fig. 9);
+* :mod:`covercube` — marked regions and their single-cube approximations
+  (Definition 6, Lemma 10), via the interleave relation;
+* :mod:`qps` — quiescent place sets (Fig. 10);
+* :mod:`approximation` — cover functions approximating ER and QR
+  (Section VI);
+* :mod:`conflicts` — structural coding conflicts over an SM-cover
+  (Definition 11);
+* :mod:`refinement` — cover-function refinement using SM-components
+  (Section VII, Figs. 11–12);
+* :mod:`csc` — structural CSC detection (Theorems 14 and 15).
+"""
+
+from repro.structural.concurrency import ConcurrencyRelation, compute_concurrency_relation
+from repro.structural.adjacency import structural_next_relation, forward_reduction
+from repro.structural.consistency import check_consistency_structural, StructuralConsistencyReport
+from repro.structural.covercube import compute_cover_cubes, structural_initial_values
+from repro.structural.qps import compute_qps, compute_backward_place_sets
+from repro.structural.approximation import SignalRegionApproximation, approximate_signal_regions
+from repro.structural.conflicts import StructuralConflict, find_structural_conflicts
+from repro.structural.refinement import refine_cover_functions
+from repro.structural.csc import check_csc_structural
+
+__all__ = [
+    "ConcurrencyRelation",
+    "compute_concurrency_relation",
+    "structural_next_relation",
+    "forward_reduction",
+    "check_consistency_structural",
+    "StructuralConsistencyReport",
+    "compute_cover_cubes",
+    "structural_initial_values",
+    "compute_qps",
+    "compute_backward_place_sets",
+    "SignalRegionApproximation",
+    "approximate_signal_regions",
+    "StructuralConflict",
+    "find_structural_conflicts",
+    "refine_cover_functions",
+    "check_csc_structural",
+]

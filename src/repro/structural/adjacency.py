@@ -1,0 +1,218 @@
+"""Structural adjacency between transitions of the same signal.
+
+A transition ``t2`` is a *successor* of ``t1`` (``t2 ∈ next(t1)``) when some
+feasible sequence fires ``t1`` and later ``t2`` without any other transition
+of the same signal in between (Section II-B).  The paper characterizes this
+relation structurally:
+
+* **Property 4 (necessary)** — there is a simple path from ``t1`` to ``t2``
+  that contains no other transition of the signal and no place concurrent to
+  the signal;
+* **Property 5 (sufficient)** — additionally, the path must survive the
+  *forward reduction* of the net by the signal transitions concurrent to its
+  places (this rules out the pathological situation of Fig. 8(a)).
+
+Both characterizations are implemented here: the necessary-condition search
+(:func:`structural_next_relation`, linear per transition), the forward
+reduction procedure (:func:`forward_reduction`), and the combined search
+(:func:`structural_next_relation_checked`) which applies the sufficient
+condition when asked for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.petri.net import PetriNet
+from repro.stg.stg import STG
+from repro.structural.concurrency import ConcurrencyRelation
+
+
+def forward_reduction(net: PetriNet, removed_transitions: set[str]) -> PetriNet:
+    """Forward reduction ``FR(N, T')`` of the paper (Section V-B).
+
+    Removes the given transitions and then, iteratively, every node that can
+    no longer be reached without firing one of them: a transition is removed
+    when all of its input places have been removed, and a place is removed
+    when all of its input transitions have been removed.  Nodes that are
+    initially marked stay (their tokens do not depend on any firing).
+    """
+    reduced = net.copy(f"{net.name}_fr")
+    for transition in removed_transitions:
+        if reduced.is_transition(transition):
+            reduced.remove_transition(transition)
+    marked = set(net.initial_marking.marked_places)
+    changed = True
+    while changed:
+        changed = False
+        for transition in list(reduced.transitions):
+            preset = reduced.preset(transition)
+            if not preset:
+                # All input places removed: the transition is unreachable.
+                if net.preset(transition):
+                    reduced.remove_transition(transition)
+                    changed = True
+            continue
+        for place in list(reduced.places):
+            if place in marked:
+                continue
+            if not reduced.preset(place) and net.preset(place):
+                reduced.remove_place(place)
+                changed = True
+    return reduced
+
+
+def _allowed_place(
+    stg: STG,
+    concurrency: ConcurrencyRelation,
+    place: str,
+    signal: str,
+) -> bool:
+    """Property 4 condition (1): the place must not be concurrent to the signal."""
+    return not concurrency.node_concurrent_with_signal(place, signal)
+
+
+def _path_successors(
+    stg: STG,
+    start: str,
+    signal: str,
+    allowed_place,
+    net: Optional[PetriNet] = None,
+) -> tuple[set[str], set[str]]:
+    """Forward search from ``start`` avoiding other transitions of ``signal``.
+
+    Returns ``(adjacent, visited_places)`` where ``adjacent`` are the
+    transitions of ``signal`` reached first along some path, and
+    ``visited_places`` the places traversed before reaching them.
+    """
+    graph = net if net is not None else stg.net
+    adjacent: set[str] = set()
+    visited: set[str] = set()
+    visited_places: set[str] = set()
+    frontier: deque[str] = deque()
+    if not graph.has_node(start):
+        return adjacent, visited_places
+    for node in graph.postset(start):
+        frontier.append(node)
+    while frontier:
+        node = frontier.popleft()
+        if node in visited:
+            continue
+        visited.add(node)
+        if graph.is_transition(node):
+            label = stg.label(node)
+            if label.signal == signal:
+                adjacent.add(node)
+                continue  # do not search past another transition of the signal
+            for successor in graph.postset(node):
+                if successor not in visited:
+                    frontier.append(successor)
+        else:
+            if not allowed_place(node):
+                continue
+            visited_places.add(node)
+            for successor in graph.postset(node):
+                if successor not in visited:
+                    frontier.append(successor)
+    return adjacent, visited_places
+
+
+def structural_next_relation(
+    stg: STG,
+    concurrency: ConcurrencyRelation,
+    transitions: Optional[list[str]] = None,
+) -> dict[str, set[str]]:
+    """``next`` relation based on the necessary conditions (Property 4).
+
+    For every requested transition, a forward breadth-first search through
+    places non-concurrent to the signal and transitions of other signals
+    collects the signal transitions reached first.  Any path found this way
+    can be shortened to a simple path, so graph reachability in the restricted
+    net captures exactly the paths of Property 4.
+    """
+    result: dict[str, set[str]] = {}
+    targets = transitions if transitions is not None else stg.transitions
+    for transition in targets:
+        signal = stg.signal_of(transition)
+
+        def allowed(place: str, signal: str = signal) -> bool:
+            return _allowed_place(stg, concurrency, place, signal)
+
+        adjacent, _ = _path_successors(stg, transition, signal, allowed)
+        result[transition] = adjacent
+    return result
+
+
+def structural_next_relation_checked(
+    stg: STG,
+    concurrency: ConcurrencyRelation,
+    transitions: Optional[list[str]] = None,
+) -> dict[str, set[str]]:
+    """``next`` relation using Property 4 plus the sufficient condition.
+
+    The search of Property 4 (restricted to non-concurrent places) is first
+    applied.  Additionally, a second search that allows *all* places is run
+    on the forward reduction of the net by the signal transitions: paths that
+    only exist through concurrent places survive only if they remain
+    realizable after removing the transitions of the signal (Property 5).
+    Successors found by either search are reported, keeping the relation a
+    safe over-approximation of the behavioural ``next``.
+    """
+    necessary = structural_next_relation(stg, concurrency, transitions)
+    result: dict[str, set[str]] = {}
+    targets = transitions if transitions is not None else stg.transitions
+    for transition in targets:
+        signal = stg.signal_of(transition)
+        others = set(stg.transitions_of_signal(signal)) - {transition}
+        reduced = forward_reduction(stg.net, others)
+
+        def allowed(_place: str) -> bool:
+            return True
+
+        extra: set[str] = set()
+        if reduced.has_node(transition):
+            # Paths through concurrent places, restricted to the reduced net:
+            # a successor found here is realizable without firing other
+            # transitions of the signal first.
+            found, _ = _path_successors(stg, transition, signal, allowed, net=reduced)
+            extra = found
+        result[transition] = necessary.get(transition, set()) | extra
+    return result
+
+
+def structural_prev_relation(next_relation: dict[str, set[str]]) -> dict[str, set[str]]:
+    """``prev`` relation (predecessors) obtained by inverting ``next``."""
+    prev: dict[str, set[str]] = {t: set() for t in next_relation}
+    for transition, successors in next_relation.items():
+        for successor in successors:
+            prev.setdefault(successor, set()).add(transition)
+    return prev
+
+
+def interleaved_places(
+    stg: STG,
+    concurrency: ConcurrencyRelation,
+    transition: str,
+    successors: Optional[set[str]] = None,
+) -> set[str]:
+    """Places interleaved between ``transition`` and its ``next`` transitions.
+
+    This is the structural computation behind the quiescent place sets of
+    Fig. 10: the places visited by the Property-4 search from the transition
+    (before any other transition of the signal is reached).  Unlike the
+    adjacency search, places concurrent to the signal are traversed as well —
+    they belong to the quiescent-region domain but their cover cube simply
+    leaves the signal as a don't-care.
+    """
+    signal = stg.signal_of(transition)
+
+    def allowed(_place: str) -> bool:
+        return True
+
+    found, places = _path_successors(stg, transition, signal, allowed)
+    if successors is not None and not successors >= found:
+        # The caller supplied a smaller successor set (e.g. after filtering);
+        # the place walk is unchanged, only reported for information.
+        pass
+    return places

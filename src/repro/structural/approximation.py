@@ -1,0 +1,240 @@
+"""Structural approximation of signal regions (Section VI).
+
+The approximation of each signal region consists of a *domain* (places and
+transitions of the STG) and a *cover function* per node.  Excitation regions
+are approximated by the intersection of the cover functions of the input
+places of the transition; quiescent regions by the union of the cover
+functions of the places in the quiescent place set, where boundary places
+(input places of the successor transitions) have the successor excitation
+covers subtracted to avoid overestimating the quiescent region.
+
+The overall generation follows the four steps listed at the start of
+Section VII:
+
+1. compute the domains and the initial (single-cube) cover functions of the
+   places;
+2. refine the cover functions when structural coding conflicts exist
+   (delegated to :mod:`repro.structural.refinement`);
+3. build the cover functions of the transitions (excitation regions);
+4. recompute the cover functions of the boundary places of every quiescent
+   region by subtracting the successor excitation covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.stg.stg import STG
+from repro.structural.adjacency import structural_next_relation
+from repro.structural.concurrency import ConcurrencyRelation, compute_concurrency_relation
+from repro.structural.covercube import compute_cover_cubes, structural_initial_values
+from repro.structural.qps import compute_backward_place_sets, compute_qps
+
+
+@dataclass
+class SignalRegionApproximation:
+    """Cover functions approximating the signal regions of an STG."""
+
+    stg: STG
+    concurrency: ConcurrencyRelation
+    cover_functions: dict[str, Cover]
+    place_cubes: dict[str, Cube]
+    next_relation: dict[str, set[str]]
+    qps: dict[str, set[str]]
+    bps: dict[str, set[str]] = field(default_factory=dict)
+    initial_values: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Covers of individual regions
+    # ------------------------------------------------------------------ #
+
+    def place_cover(self, place: str) -> Cover:
+        """The (possibly refined) cover function of a place's marked region."""
+        return self.cover_functions[place]
+
+    def _signal_value_cube(self, transition: str, after_firing: bool) -> Optional[Cube]:
+        """Cube fixing the transition's own signal value before/after firing.
+
+        Consistency implies that every marking of ER(a+) has ``a = 0`` and
+        every marking of QR(a+) has ``a = 1``; anchoring the covers with this
+        literal removes the overestimation introduced by places whose cube
+        leaves the signal unconstrained.
+        """
+        label = self.stg.label(transition)
+        if label.direction not in "+-":
+            return None
+        value = label.target_value if after_firing else label.source_value
+        return Cube({label.signal: value})
+
+    def er_cover(self, transition: str) -> Cover:
+        """Cover of the excitation region ER(t).
+
+        The intersection of the cover functions of the input places of the
+        transition (the marked regions whose simultaneous marking enables
+        it), anchored with the signal's pre-firing value.
+        """
+        preset = sorted(self.stg.net.preset(transition))
+        if not preset:
+            return Cover.universe(self.stg.signal_names)
+        result = self.cover_functions[preset[0]]
+        for place in preset[1:]:
+            result = result.intersection(self.cover_functions[place])
+        anchor = self._signal_value_cube(transition, after_firing=False)
+        if anchor is not None:
+            result = result.intersect_cube(anchor)
+        return result.with_variables(self.stg.signal_names)
+
+    def qr_cover(self, transition: str, restricted: bool = False) -> Cover:
+        """Cover of the quiescent region QR(t) (or the restricted QR).
+
+        The union of the cover functions of the places in QPS(t); boundary
+        places (input places of a successor transition of the signal) have
+        the successor's excitation cover subtracted.  With
+        ``restricted=True`` the places shared with the QPS of other
+        transitions of the signal are excluded (equation (4) domain).
+        """
+        signal = self.stg.signal_of(transition)
+        places = set(self.qps.get(transition, set()))
+        if restricted:
+            for other in self.stg.transitions_of_signal(signal):
+                if other == transition:
+                    continue
+                places -= self.qps.get(other, set())
+        successors = self.next_relation.get(transition, set())
+        boundary: dict[str, set[str]] = {}
+        for successor in successors:
+            for place in self.stg.net.preset(successor):
+                if place in places:
+                    boundary.setdefault(place, set()).add(successor)
+        result = Cover.empty(self.stg.signal_names)
+        for place in sorted(places):
+            cover = self.cover_functions[place]
+            for successor in boundary.get(place, ()):
+                cover = cover.sharp(self.er_cover(successor))
+            result = result.union(cover)
+        anchor = self._signal_value_cube(transition, after_firing=True)
+        if anchor is not None:
+            result = result.intersect_cube(anchor)
+        # Quiescent-region markings never enable a successor transition of the
+        # signal, so (under CSC) the codes of the successor excitation regions
+        # can be removed globally — this eliminates the overestimation that
+        # reaches the boundary through places of concurrent branches.
+        for successor in successors:
+            result = result.sharp(self.er_cover(successor))
+        return result.with_variables(self.stg.signal_names)
+
+    def br_cover(self, transition: str) -> Cover:
+        """Cover of the backward quiescent region BR(t) (Appendix E)."""
+        places = set(self.bps.get(transition, set()))
+        predecessors = {
+            prev for prev, nexts in self.next_relation.items()
+            if transition in nexts
+        }
+        boundary: dict[str, set[str]] = {}
+        for predecessor in predecessors:
+            for place in self.stg.net.postset(predecessor):
+                if place in places:
+                    boundary.setdefault(place, set()).add(predecessor)
+        result = Cover.empty(self.stg.signal_names)
+        for place in sorted(places):
+            cover = self.cover_functions[place]
+            result = result.union(cover)
+        # The excitation region of the transition itself is not part of BR,
+        # and every marking of BR carries the signal's pre-firing value.
+        result = result.sharp(self.er_cover(transition))
+        anchor = self._signal_value_cube(transition, after_firing=False)
+        if anchor is not None:
+            result = result.intersect_cube(anchor)
+        return result.with_variables(self.stg.signal_names)
+
+    # ------------------------------------------------------------------ #
+    # Generalized regions
+    # ------------------------------------------------------------------ #
+
+    def ger_cover(self, signal: str, direction: str) -> Cover:
+        """Cover of the generalized excitation region GER(signal direction)."""
+        result = Cover.empty(self.stg.signal_names)
+        for transition in self.stg.transitions_by_direction(signal, direction):
+            result = result.union(self.er_cover(transition))
+        return result
+
+    def gqr_cover(self, signal: str, value: int, restricted: bool = False) -> Cover:
+        """Cover of the generalized quiescent region GQR(signal = value)."""
+        direction = "+" if value == 1 else "-"
+        result = Cover.empty(self.stg.signal_names)
+        for transition in self.stg.transitions_by_direction(signal, direction):
+            result = result.union(self.qr_cover(transition, restricted=restricted))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sets used by the synthesis correctness checks (Section VIII-B)
+    # ------------------------------------------------------------------ #
+
+    def set_function_on_set(self, signal: str) -> Cover:
+        """On-set required for the set function of a signal: GER(signal+)."""
+        return self.ger_cover(signal, "+")
+
+    def set_function_off_set(self, signal: str) -> Cover:
+        """Off-set of the set function: GER(signal-) ∪ GQR(signal=0)."""
+        return self.ger_cover(signal, "-").union(self.gqr_cover(signal, 0))
+
+    def reset_function_on_set(self, signal: str) -> Cover:
+        """On-set required for the reset function of a signal: GER(signal-)."""
+        return self.ger_cover(signal, "-")
+
+    def reset_function_off_set(self, signal: str) -> Cover:
+        """Off-set of the reset function: GER(signal+) ∪ GQR(signal=1)."""
+        return self.ger_cover(signal, "+").union(self.gqr_cover(signal, 1))
+
+    def next_state_on_set(self, signal: str) -> Cover:
+        """On-set of the next-state function: GER(signal+) ∪ GQR(signal=1)."""
+        return self.ger_cover(signal, "+").union(self.gqr_cover(signal, 1))
+
+    def next_state_off_set(self, signal: str) -> Cover:
+        """Off-set of the next-state function: GER(signal-) ∪ GQR(signal=0)."""
+        return self.ger_cover(signal, "-").union(self.gqr_cover(signal, 0))
+
+
+def approximate_signal_regions(
+    stg: STG,
+    concurrency: Optional[ConcurrencyRelation] = None,
+    cover_functions: Optional[dict[str, Cover]] = None,
+    initial_values: Optional[dict[str, int]] = None,
+    compute_backward: bool = True,
+) -> SignalRegionApproximation:
+    """Build the structural approximation of all signal regions of an STG.
+
+    ``cover_functions`` may carry refined (multi-cube) covers produced by
+    :func:`repro.structural.refinement.refine_cover_functions`; when omitted,
+    the single-cube approximations of Lemma 10 are used.
+    """
+    if concurrency is None:
+        concurrency = compute_concurrency_relation(stg)
+    if initial_values is None:
+        initial_values = structural_initial_values(stg, concurrency)
+    place_cubes = compute_cover_cubes(stg, concurrency, initial_values)
+    if cover_functions is None:
+        cover_functions = {
+            place: Cover([cube], stg.signal_names)
+            for place, cube in place_cubes.items()
+        }
+    next_relation = structural_next_relation(stg, concurrency)
+    qps = compute_qps(stg, next_relation=next_relation)
+    bps = (
+        compute_backward_place_sets(stg, next_relation=next_relation)
+        if compute_backward
+        else {}
+    )
+    return SignalRegionApproximation(
+        stg=stg,
+        concurrency=concurrency,
+        cover_functions=cover_functions,
+        place_cubes=place_cubes,
+        next_relation=next_relation,
+        qps=qps,
+        bps=bps,
+        initial_values=initial_values,
+    )

@@ -1,0 +1,229 @@
+"""Concurrency relations of an STG (Section V-A).
+
+The concurrency relation CR relates pairs of nodes (places and transitions)
+that can be simultaneously "active": two places that can be simultaneously
+marked, a place that can be marked while a transition is enabled (without the
+transition consuming its token), and two transitions that can be enabled
+without disabling each other.
+
+For live and safe free-choice nets the relation is computed exactly by a
+polynomial fixed-point algorithm in the style of Kovalyov and Esparza
+(reference [29] of the paper):
+
+* initially, all pairs of distinct places marked at the initial marking and
+  all pairs of distinct output places of a transition are concurrent;
+* a node ``x`` is concurrent with a transition ``t`` when it is concurrent
+  with every input place of ``t`` (and is not itself an input or output place
+  of ``t``); in that case ``x`` also becomes concurrent with every output
+  place of ``t``;
+* iterate to a fixed point.
+
+For non-free-choice nets the result is a conservative over-approximation,
+which is the safe direction for the synthesis method.
+
+The *signal concurrency relation* SCR relates a node to a signal when it is
+concurrent with some transition of that signal (Definition 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.stg.stg import STG
+
+
+class ConcurrencyRelation:
+    """The symmetric concurrency relation over the nodes of an STG."""
+
+    def __init__(self, stg: STG):
+        self.stg = stg
+        self._concurrent: dict[str, set[str]] = {node: set() for node in stg.net.nodes}
+        self._signal_cache: dict[tuple[str, str], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction (used by the computation function)
+    # ------------------------------------------------------------------ #
+
+    def _add(self, first: str, second: str) -> bool:
+        """Add a symmetric pair; returns True if it was new."""
+        if first == second:
+            return False
+        if second in self._concurrent[first]:
+            return False
+        self._concurrent[first].add(second)
+        self._concurrent[second].add(first)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def are_concurrent(self, first: str, second: str) -> bool:
+        """True if the two nodes are (conservatively) concurrent."""
+        return second in self._concurrent.get(first, ())
+
+    def concurrent_nodes(self, node: str) -> frozenset[str]:
+        """All nodes concurrent with ``node``."""
+        return frozenset(self._concurrent.get(node, ()))
+
+    def concurrent_places(self, node: str) -> frozenset[str]:
+        """Places concurrent with ``node``."""
+        return frozenset(
+            other for other in self._concurrent.get(node, ())
+            if self.stg.net.is_place(other)
+        )
+
+    def concurrent_transitions(self, node: str) -> frozenset[str]:
+        """Transitions concurrent with ``node``."""
+        return frozenset(
+            other for other in self._concurrent.get(node, ())
+            if self.stg.net.is_transition(other)
+        )
+
+    def node_concurrent_with_signal(self, node: str, signal: str) -> bool:
+        """Signal concurrency relation SCR (Definition 3).
+
+        True when the node is concurrent with some transition of ``signal``.
+        """
+        key = (node, signal)
+        cached = self._signal_cache.get(key)
+        if cached is not None:
+            return cached
+        result = any(
+            self.are_concurrent(node, transition)
+            for transition in self.stg.transitions_of_signal(signal)
+        )
+        self._signal_cache[key] = result
+        return result
+
+    def signals_concurrent_with(self, node: str) -> set[str]:
+        """All signals concurrent with a node."""
+        return {
+            signal for signal in self.stg.signal_names
+            if self.node_concurrent_with_signal(node, signal)
+        }
+
+    def pairs(self) -> set[frozenset[str]]:
+        """All concurrent pairs as frozensets."""
+        result: set[frozenset[str]] = set()
+        for node, others in self._concurrent.items():
+            for other in others:
+                result.add(frozenset((node, other)))
+        return result
+
+    def transition_pairs(self) -> set[frozenset[str]]:
+        """Concurrent transition-transition pairs only."""
+        net = self.stg.net
+        return {
+            pair for pair in self.pairs()
+            if all(net.is_transition(node) for node in pair)
+        }
+
+    def place_table(self) -> dict[str, dict[str, bool]]:
+        """Place-versus-place concurrency table (Table II of the paper)."""
+        places = self.stg.places
+        return {
+            row: {column: self.are_concurrent(row, column) for column in places}
+            for row in places
+        }
+
+
+def compute_concurrency_relation(
+    stg: STG,
+    max_iterations: Optional[int] = None,
+) -> ConcurrencyRelation:
+    """Fixed-point computation of the concurrency relation.
+
+    Complexity is polynomial in the size of the net: every pair of nodes is
+    inserted at most once and each insertion triggers work proportional to
+    the adjacent transitions.
+    """
+    net = stg.net
+    relation = ConcurrencyRelation(stg)
+    worklist: deque[tuple[str, str]] = deque()
+
+    def add(first: str, second: str) -> None:
+        if relation._add(first, second):
+            worklist.append((first, second))
+
+    # Seed: places simultaneously marked initially.
+    marked = sorted(net.initial_marking.marked_places)
+    for i, first in enumerate(marked):
+        for second in marked[i + 1:]:
+            add(first, second)
+    # Seed: output places of the same transition are simultaneously marked
+    # right after it fires.
+    for transition in net.transitions:
+        outputs = sorted(net.postset(transition))
+        for i, first in enumerate(outputs):
+            for second in outputs[i + 1:]:
+                add(first, second)
+
+    def try_transition(node: str, transition: str) -> None:
+        """Apply the inference rule for ``node`` against ``transition``."""
+        if node == transition:
+            return
+        preset = net.preset(transition)
+        if node in preset or node in net.postset(transition):
+            return
+        if not preset:
+            return
+        if all(relation.are_concurrent(node, place) for place in preset):
+            add(node, transition)
+            for output in net.postset(transition):
+                add(node, output)
+
+    # Initial sweep: nodes concurrent with the initial marking versus the
+    # transitions enabled by it are discovered through the worklist; we also
+    # need to handle transitions with a single input place that is part of a
+    # seeded pair, which the worklist propagation below covers.
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if max_iterations is not None and iterations > max_iterations:
+            raise RuntimeError("concurrency fixed point did not converge in time")
+        first, second = worklist.popleft()
+        for node, other in ((first, second), (second, first)):
+            if net.is_place(other):
+                # ``node`` became concurrent with place ``other``; check the
+                # transitions consuming ``other``.
+                for transition in net.postset(other):
+                    try_transition(node, transition)
+    return relation
+
+
+def concurrency_from_reachability(stg: STG) -> ConcurrencyRelation:
+    """Exact concurrency relation extracted from the reachability graph.
+
+    Used as a test oracle for :func:`compute_concurrency_relation` on small
+    STGs; exponential in the worst case.
+    """
+    from repro.petri.reachability import build_reachability_graph
+
+    net = stg.net
+    graph = build_reachability_graph(net)
+    relation = ConcurrencyRelation(stg)
+    for marking in graph:
+        marked = sorted(marking.marked_places)
+        enabled = sorted(graph.enabled_transitions(marking))
+        # place || place
+        for i, first in enumerate(marked):
+            for second in marked[i + 1:]:
+                relation._add(first, second)
+        # place || transition: the place stays marked while the transition
+        # fires (it is not an input place of the transition).
+        for place in marked:
+            for transition in enabled:
+                if place not in net.preset(transition):
+                    relation._add(place, transition)
+        # transition || transition (true concurrency: neither disables the
+        # other).
+        for i, first in enumerate(enabled):
+            after_first = net.fire(first, marking)
+            for second in enabled[i + 1:]:
+                if net.is_enabled(second, after_first):
+                    after_second = net.fire(second, marking)
+                    if net.is_enabled(first, after_second):
+                        relation._add(first, second)
+    return relation

@@ -1,0 +1,241 @@
+"""Marked regions and their single-cube approximations (Section V-C/D).
+
+The marked region MR(p) of a place is the set of reachable markings in which
+the place carries a token (Definition 6).  Its binary codes are approximated
+by a single *cover cube* (Lemma 10): a signal concurrent to the place
+contributes no literal (its value can change while the place is marked); a
+signal non-concurrent to the place contributes the literal corresponding to
+its (constant) value inside the marked region, which is determined by the
+*interleave relation* — the direction of the signal transition after which
+the place can become marked without any further transition of the signal.
+
+All computations are graph searches on the STG structure restricted by the
+concurrency relation; nothing touches the reachability graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.boolean.cube import Cube
+from repro.stg.stg import STG
+from repro.structural.concurrency import ConcurrencyRelation, compute_concurrency_relation
+
+
+def _nodes_reached_without_signal(
+    stg: STG,
+    signal: str,
+    sources: list[str],
+    concurrency: Optional[ConcurrencyRelation] = None,
+) -> set[str]:
+    """Nodes reachable from ``sources`` without traversing a ``signal``
+    transition (the sources themselves may be transitions of the signal —
+    their own firing is the starting point and is allowed).
+
+    When a concurrency relation is given, the walk only traverses places
+    non-concurrent to the signal — the necessary path condition of
+    Property 4, which prunes structurally present but unrealizable paths and
+    is what keeps the cover cubes tight.
+    """
+    net = stg.net
+    visited: set[str] = set()
+    frontier: deque[str] = deque()
+    for source in sources:
+        for node in net.postset(source):
+            frontier.append(node)
+    while frontier:
+        node = frontier.popleft()
+        if node in visited:
+            continue
+        visited.add(node)
+        if net.is_transition(node):
+            if stg.signal_of(node) == signal:
+                continue  # stop: a transition of the signal changes its value
+        elif concurrency is not None and concurrency.node_concurrent_with_signal(
+            node, signal
+        ):
+            # The place is still recorded as reached (its value contribution
+            # is irrelevant because concurrent places carry no literal), but
+            # paths through it are not necessarily realizable without firing
+            # the signal, so the walk does not continue past it.
+            continue
+        for successor in net.postset(node):
+            if successor not in visited:
+                frontier.append(successor)
+    return visited
+
+
+def signal_value_at_places(
+    stg: STG,
+    signal: str,
+    initial_value: Optional[int] = None,
+    concurrency: Optional[ConcurrencyRelation] = None,
+) -> dict[str, Optional[int]]:
+    """The (structural) value of ``signal`` while each place is marked.
+
+    For every place the set of possible values is accumulated from:
+
+    * the target value of every ``signal`` transition from which the place is
+      reachable without crossing another ``signal`` transition (the place is
+      interleaved after that transition);
+    * the initial value of the signal, if the place can be marked before any
+      transition of the signal fires (it is reachable from the initially
+      marked places without crossing a ``signal`` transition, or is itself
+      initially marked).
+
+    Places with a single possible value get that value; places with no or
+    several possible values get ``None`` (don't-care in the cover cube).
+    Consistent STGs never produce several values for a place non-concurrent
+    to the signal (Property 9).
+    """
+    possible: dict[str, set[int]] = {place: set() for place in stg.places}
+
+    # Values imposed by preceding signal transitions.
+    for transition in stg.transitions_of_signal(signal):
+        label = stg.label(transition)
+        if label.direction not in "+-":
+            continue
+        reached = _nodes_reached_without_signal(stg, signal, [transition], concurrency)
+        for node in reached:
+            if node in possible:
+                possible[node].add(label.target_value)
+
+    # Values imposed by the initial marking.  The walk follows the same
+    # Property-4 restriction as the walks from the signal transitions: it
+    # only continues past places non-concurrent to the signal (including the
+    # initially marked seed places).
+    if initial_value is not None:
+        marked = sorted(stg.initial_marking.marked_places)
+        initially_reachable = set(marked)
+        net = stg.net
+        frontier: deque[str] = deque()
+        for place in marked:
+            if concurrency is not None and concurrency.node_concurrent_with_signal(
+                place, signal
+            ):
+                continue
+            for node in net.postset(place):
+                frontier.append(node)
+        visited: set[str] = set()
+        while frontier:
+            node = frontier.popleft()
+            if node in visited:
+                continue
+            visited.add(node)
+            if net.is_transition(node):
+                if stg.signal_of(node) == signal:
+                    continue
+            else:
+                initially_reachable.add(node)
+                if concurrency is not None and concurrency.node_concurrent_with_signal(
+                    node, signal
+                ):
+                    continue
+            for successor in net.postset(node):
+                if successor not in visited:
+                    frontier.append(successor)
+        for place in initially_reachable:
+            possible[place].add(initial_value)
+
+    result: dict[str, Optional[int]] = {}
+    for place, values in possible.items():
+        if len(values) == 1:
+            result[place] = next(iter(values))
+        else:
+            result[place] = None
+    return result
+
+
+def structural_initial_values(
+    stg: STG,
+    concurrency: Optional[ConcurrencyRelation] = None,
+) -> dict[str, int]:
+    """Infer the initial binary value of every signal structurally.
+
+    The value is 0 when a rising transition of the signal is reachable from
+    the initial marking without crossing another transition of the signal,
+    and 1 when a falling transition is.  Declared values take precedence;
+    signals whose first transition cannot be determined default to 0.
+
+    The search only traverses places non-concurrent to the signal (the
+    Property-4 path restriction) so that unrealizable structural paths do
+    not contribute a spurious direction.
+    """
+    values = dict(stg.initial_values)
+    net = stg.net
+    marked = sorted(stg.initial_marking.marked_places)
+    for signal in stg.signal_names:
+        if signal in values:
+            continue
+        first_directions: set[str] = set()
+        visited: set[str] = set()
+        frontier: deque[str] = deque(marked)
+        while frontier:
+            node = frontier.popleft()
+            if node in visited:
+                continue
+            visited.add(node)
+            if net.is_transition(node):
+                if stg.signal_of(node) == signal:
+                    direction = stg.direction_of(node)
+                    if direction in "+-":
+                        first_directions.add(direction)
+                    continue
+            elif concurrency is not None and concurrency.node_concurrent_with_signal(
+                node, signal
+            ):
+                continue
+            for successor in net.postset(node):
+                if successor not in visited:
+                    frontier.append(successor)
+        if first_directions == {"+"}:
+            values[signal] = 0
+        elif first_directions == {"-"}:
+            values[signal] = 1
+        else:
+            values[signal] = 0
+    return values
+
+
+def compute_cover_cubes(
+    stg: STG,
+    concurrency: Optional[ConcurrencyRelation] = None,
+    initial_values: Optional[dict[str, int]] = None,
+    signals: Optional[list[str]] = None,
+) -> dict[str, Cube]:
+    """The single-cube approximation of every marked region (Lemma 10).
+
+    Returns a mapping ``place -> Cube`` over the signal variables.  The cube
+    for MR(p) has, for every signal non-concurrent to ``p``, the literal of
+    the signal's constant value inside MR(p); signals concurrent to ``p``
+    contribute no literal.
+    """
+    if concurrency is None:
+        concurrency = compute_concurrency_relation(stg)
+    if initial_values is None:
+        initial_values = structural_initial_values(stg, concurrency)
+    selected = signals if signals is not None else stg.signal_names
+
+    literals: dict[str, dict[str, int]] = {place: {} for place in stg.places}
+    for signal in selected:
+        values = signal_value_at_places(
+            stg, signal, initial_values.get(signal), concurrency
+        )
+        for place in stg.places:
+            if concurrency.node_concurrent_with_signal(place, signal):
+                continue  # value changes while the place is marked
+            value = values.get(place)
+            if value is not None:
+                literals[place][signal] = value
+    return {place: Cube(assignment) for place, assignment in literals.items()}
+
+
+def cover_cube_table(
+    stg: STG,
+    cubes: dict[str, Cube],
+    signal_order: Optional[list[str]] = None,
+) -> dict[str, str]:
+    """Positional-cube strings for all places (Table III of the paper)."""
+    order = signal_order if signal_order is not None else stg.signal_names
+    return {place: cube.to_string(order) for place, cube in cubes.items()}

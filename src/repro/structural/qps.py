@@ -1,0 +1,152 @@
+"""Quiescent place sets and backward place sets (Fig. 10, Appendix E).
+
+The domain used to approximate the quiescent region QR(t) of a signal
+transition is its *quiescent place set* QPS(t): every place interleaved
+between ``t`` and some successor transition of the same signal.  Structurally
+this is the set of places visited by a forward search from ``t`` that stops
+at transitions of the signal.
+
+The *backward place set* BPS(t) plays the same role for the backward
+quiescent region BR(t) (Appendix E): the places interleaved between the
+predecessor transitions of the signal and ``t``, obtained by the symmetric
+backward search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.stg.stg import STG
+
+
+def _directional_place_walk(
+    stg: STG,
+    transition: str,
+    forward: bool,
+) -> tuple[set[str], set[str]]:
+    """Walk from a transition, stopping at transitions of the same signal.
+
+    Returns ``(places, boundary_transitions)`` where ``places`` are the
+    places visited and ``boundary_transitions`` the same-signal transitions
+    at which the walk stopped.
+    """
+    net = stg.net
+    signal = stg.signal_of(transition)
+    places: set[str] = set()
+    boundary: set[str] = set()
+    visited: set[str] = set()
+    frontier: deque[str] = deque()
+    neighbours = net.postset(transition) if forward else net.preset(transition)
+    for node in neighbours:
+        frontier.append(node)
+    while frontier:
+        node = frontier.popleft()
+        if node in visited:
+            continue
+        visited.add(node)
+        if net.is_transition(node):
+            if stg.signal_of(node) == signal:
+                boundary.add(node)
+                continue
+            next_nodes = net.postset(node) if forward else net.preset(node)
+        else:
+            places.add(node)
+            next_nodes = net.postset(node) if forward else net.preset(node)
+        for successor in next_nodes:
+            if successor not in visited:
+                frontier.append(successor)
+    return places, boundary
+
+
+def compute_qps(
+    stg: STG,
+    transitions: Optional[list[str]] = None,
+    next_relation: Optional[dict[str, set[str]]] = None,
+) -> dict[str, set[str]]:
+    """Quiescent place sets QPS(t) for the given transitions (default: all).
+
+    ``QPS(t)`` contains every place *interleaved* between ``t`` and some
+    successor transition ``t' ∈ next(t)``: the place must be reachable from
+    ``t`` without crossing another transition of the signal, and a successor
+    transition must be reachable from the place the same way (equivalently,
+    the place is backward-reachable from a successor).  The second condition
+    keeps places of concurrent branches — whose marked regions extend outside
+    the quiescent region — out of the domain.
+
+    ``next_relation`` supplies the successors (the structural ``next``
+    relation of Property 4); without it, the same-signal transitions found by
+    the unrestricted forward walk are used, which is a coarser domain.
+    """
+    result: dict[str, set[str]] = {}
+    targets = transitions if transitions is not None else stg.transitions
+    for transition in targets:
+        forward_places, walk_successors = _directional_place_walk(
+            stg, transition, forward=True
+        )
+        if next_relation is not None:
+            successors = next_relation.get(transition, set())
+        else:
+            successors = walk_successors
+        # Places from which a successor transition is reachable = places on
+        # the backward walks from the successors.
+        reach_back: set[str] = set()
+        for successor in successors:
+            places, _ = _directional_place_walk(stg, successor, forward=False)
+            reach_back |= places
+        result[transition] = forward_places & reach_back
+    return result
+
+
+def compute_backward_place_sets(
+    stg: STG,
+    transitions: Optional[list[str]] = None,
+    next_relation: Optional[dict[str, set[str]]] = None,
+) -> dict[str, set[str]]:
+    """Backward place sets BPS(t) (Appendix E).
+
+    ``BPS(t)`` contains every place interleaved between a predecessor
+    transition of the signal and ``t``: backward-reachable from ``t`` without
+    crossing another transition of the signal, and forward-reachable from a
+    predecessor transition of the signal the same way.
+    """
+    result: dict[str, set[str]] = {}
+    targets = transitions if transitions is not None else stg.transitions
+    predecessors_of: dict[str, set[str]] = {}
+    if next_relation is not None:
+        for source, successors in next_relation.items():
+            for successor in successors:
+                predecessors_of.setdefault(successor, set()).add(source)
+    for transition in targets:
+        backward_places, walk_predecessors = _directional_place_walk(
+            stg, transition, forward=False
+        )
+        if next_relation is not None:
+            predecessors = predecessors_of.get(transition, set())
+        else:
+            predecessors = walk_predecessors
+        reach_forward: set[str] = set()
+        for predecessor in predecessors:
+            places, _ = _directional_place_walk(stg, predecessor, forward=True)
+            reach_forward |= places
+        result[transition] = backward_places & reach_forward
+    return result
+
+
+def qps_boundary_places(
+    stg: STG,
+    transition: str,
+    qps: set[str],
+    successors: set[str],
+) -> set[str]:
+    """Places of QPS(t) lying in the preset of a successor transition.
+
+    These are the boundary places whose cover function must be reduced by the
+    covers of the successor excitation regions to avoid overestimating the
+    quiescent region (Section VI-A).
+    """
+    boundary: set[str] = set()
+    for successor in successors:
+        boundary |= stg.net.preset(successor) & qps
+    del transition  # the boundary only depends on the successors
+    return boundary

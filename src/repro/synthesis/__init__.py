@@ -1,0 +1,38 @@
+"""Speed-independent synthesis flow.
+
+Implements the three implementation architectures of Section III, the
+correctness and monotonicity conditions (equations (1)–(4), Property 16), the
+minimization loop of Section VIII and the Appendix, a small gate library with
+Boolean-matching technology mapping, and the top-level synthesis engines:
+
+* :func:`repro.synthesis.engine.synthesize` — the structural flow (the
+  paper's contribution), driven by the region approximations of
+  :mod:`repro.structural`;
+* :func:`repro.statebased.synthesis.synthesize_state_based` — the exhaustive
+  baseline (SIS/ASSASSIN style), driven by the exact regions of
+  :mod:`repro.statebased`.
+"""
+
+from repro.synthesis.netlist import Architecture, Circuit, SignalImplementation
+from repro.synthesis.conditions import (
+    check_cover_correctness,
+    check_monotonicity_structural,
+    check_monotonicity_state_based,
+)
+from repro.synthesis.mapping import GateLibrary, default_library, map_circuit
+from repro.synthesis.engine import SynthesisError, SynthesisOptions, synthesize
+
+__all__ = [
+    "Architecture",
+    "Circuit",
+    "SignalImplementation",
+    "check_cover_correctness",
+    "check_monotonicity_structural",
+    "check_monotonicity_state_based",
+    "GateLibrary",
+    "default_library",
+    "map_circuit",
+    "SynthesisError",
+    "SynthesisOptions",
+    "synthesize",
+]

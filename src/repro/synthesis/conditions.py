@@ -1,0 +1,201 @@
+"""Implementability conditions: cover correctness and monotonicity.
+
+Correctness (equation (2)): the set function of a signal must cover the
+binary codes of GER(a+) and avoid GER(a-) ∪ GQR(a=0); symmetrically for the
+reset function.  For the per-excitation-region architecture the quiescent
+region is replaced by the *restricted* quiescent region (equation (4)).
+
+Monotonicity (Property 1 / Property 16): a correct cover may only switch
+twice along any firing sequence.  Two checks are provided: the *structural*
+check of Property 16 (using the next relation, the quiescent place sets and
+the place cover functions — no reachability graph), and a *state-based*
+oracle that walks the encoded reachability graph and verifies Property 1
+directly (used by the verifier and by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.boolean.cover import Cover
+from repro.statebased.regions import SignalRegions
+from repro.stg.stg import STG
+from repro.structural.approximation import SignalRegionApproximation
+
+
+@dataclass
+class ConditionReport:
+    """Result of a correctness or monotonicity check."""
+
+    satisfied: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+# ---------------------------------------------------------------------- #
+# Correctness (equation (2) / (3))
+# ---------------------------------------------------------------------- #
+
+
+def check_cover_correctness(
+    on_set: Cover,
+    off_set: Cover,
+    cover: Cover,
+    what: str = "cover",
+) -> ConditionReport:
+    """Equation (2): ``on_set ⊆ cover`` and ``cover ∩ off_set = ∅``."""
+    violations: list[str] = []
+    if not cover.contains_cover(on_set):
+        violations.append(f"{what} does not cover its excitation region")
+    if cover.intersects_cover(off_set):
+        violations.append(f"{what} intersects its off-set")
+    return ConditionReport(not violations, violations)
+
+
+def set_function_sets(
+    regions: SignalRegionApproximation | SignalRegions,
+    signal: str,
+    restricted: bool = False,
+) -> tuple[Cover, Cover]:
+    """(on-set, off-set) covers for the set function of ``signal``.
+
+    Works both with the structural approximation and with the exact
+    state-based regions (which expose ``ger_codes``/``gqr_codes``).
+    """
+    if isinstance(regions, SignalRegionApproximation):
+        on_set = regions.ger_cover(signal, "+")
+        off_set = regions.ger_cover(signal, "-").union(
+            regions.gqr_cover(signal, 0, restricted=restricted)
+        )
+    else:
+        on_set = regions.ger_codes(signal, "+")
+        off_set = regions.ger_codes(signal, "-").union(regions.gqr_codes(signal, 0))
+    return on_set, off_set
+
+
+def reset_function_sets(
+    regions: SignalRegionApproximation | SignalRegions,
+    signal: str,
+    restricted: bool = False,
+) -> tuple[Cover, Cover]:
+    """(on-set, off-set) covers for the reset function of ``signal``."""
+    if isinstance(regions, SignalRegionApproximation):
+        on_set = regions.ger_cover(signal, "-")
+        off_set = regions.ger_cover(signal, "+").union(
+            regions.gqr_cover(signal, 1, restricted=restricted)
+        )
+    else:
+        on_set = regions.ger_codes(signal, "-")
+        off_set = regions.ger_codes(signal, "+").union(regions.gqr_codes(signal, 1))
+    return on_set, off_set
+
+
+# ---------------------------------------------------------------------- #
+# Monotonicity — structural check (Property 16)
+# ---------------------------------------------------------------------- #
+
+
+def check_monotonicity_structural(
+    approximation: SignalRegionApproximation,
+    transition: str,
+    cover: Cover,
+) -> ConditionReport:
+    """Property 16: the cover of a transition must not switch on again.
+
+    Starting from the quiescent place set of the transition, the places are
+    walked in topological (token-flow) order; once a place is found whose
+    cover function is no longer intersected by ``cover`` (the cover has been
+    turned off), the cover must not intersect the cover function of any place
+    reachable strictly after it before the next transition of the signal.
+    """
+    stg = approximation.stg
+    qps = approximation.qps.get(transition, set())
+    if not qps:
+        return ConditionReport(True)
+    net = stg.net
+    signal = stg.signal_of(transition)
+    violations: list[str] = []
+
+    # Walk forward from the transition through its QPS; record, along every
+    # path, whether the cover was already off at some earlier place.
+    from collections import deque
+
+    # state: (node, cover_was_off)
+    frontier: deque[tuple[str, bool]] = deque()
+    for place in net.postset(transition):
+        frontier.append((place, False))
+    visited: set[tuple[str, bool]] = set()
+    while frontier:
+        node, was_off = frontier.popleft()
+        if (node, was_off) in visited:
+            continue
+        visited.add((node, was_off))
+        if net.is_transition(node):
+            if stg.signal_of(node) == signal:
+                continue
+            for successor in net.postset(node):
+                frontier.append((successor, was_off))
+            continue
+        # node is a place
+        if node not in qps:
+            continue
+        intersects = cover.intersects_cover(approximation.place_cover(node))
+        if was_off and intersects:
+            violations.append(
+                f"cover of {transition} switches on again at place {node}"
+            )
+            continue
+        next_off = was_off or not intersects
+        for successor in net.postset(node):
+            frontier.append((successor, next_off))
+    return ConditionReport(not violations, violations)
+
+
+# ---------------------------------------------------------------------- #
+# Monotonicity — state-based oracle (Property 1)
+# ---------------------------------------------------------------------- #
+
+
+def check_monotonicity_state_based(
+    stg: STG,
+    regions: SignalRegions,
+    signal: str,
+    cover: Cover,
+    direction: str,
+) -> ConditionReport:
+    """Property 1 checked on the exact regions.
+
+    For a set function (``direction == '+'``): if the cover is on at a
+    marking of GQR(signal=1), it must stay on at every predecessor marking of
+    that marking inside GQR(signal=1) — i.e. the cover may fall at most once
+    inside the quiescent region and never rise again.  The formulation below
+    follows the paper: for every marking of the generalized quiescent region
+    whose code is covered, the codes of all *previous* markings of the region
+    along any path from the excitation region must be covered too.
+    """
+    value = 1 if direction == "+" else 0
+    quiescent = regions.gqr(signal, value)
+    excitation = regions.ger(signal, direction)
+    encoded = regions.encoded
+    graph = encoded.graph
+    violations: list[str] = []
+    region = quiescent | excitation
+    for marking in quiescent:
+        if not cover.covers_vertex(encoded.code_of(marking)):
+            continue
+        # every predecessor inside the region must also be covered
+        for _, source in graph.predecessors(marking):
+            if source not in region:
+                continue
+            if source in excitation:
+                continue
+            if not cover.covers_vertex(encoded.code_of(source)):
+                violations.append(
+                    f"{signal}{direction}: cover rises again inside the "
+                    f"quiescent region at {marking}"
+                )
+                break
+    return ConditionReport(not violations, violations)

@@ -1,0 +1,151 @@
+"""Gate library and Boolean-matching technology mapping (Appendix F).
+
+The paper maps the minimized signal networks onto a library of standard
+cells, merging simple gates into complex gates (up to four inputs, e.g.
+AOI22) when available.  The reproduction uses a generic CMOS-style library:
+every cell is characterized by the largest SOP it can absorb (number of
+product terms, literals per term, total literals) and an area in normalized
+transistor units.  Mapping a cover means finding the cheapest set of cells
+whose combined capacity absorbs it; covers too large for one cell are split
+across cells term by term, with an OR tree in front of the latch.
+
+This intentionally stops short of general logic decomposition, which the
+paper also excludes ("it is not possible to apply a generalized decomposition
+process ... due to the restrictive correctness conditions imposed by
+speed-independent circuits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boolean.cover import Cover
+from repro.synthesis.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class LibraryCell:
+    """One combinational cell of the gate library."""
+
+    name: str
+    max_terms: int
+    max_literals_per_term: int
+    max_total_literals: int
+    area: int
+
+    def fits(self, cover: Cover) -> bool:
+        """True if the cover can be absorbed by one instance of the cell."""
+        if len(cover) > self.max_terms:
+            return False
+        if cover.num_literals() > self.max_total_literals:
+            return False
+        return all(
+            cube.num_literals() <= self.max_literals_per_term for cube in cover
+        )
+
+
+@dataclass
+class GateLibrary:
+    """An ordered collection of library cells (cheapest first)."""
+
+    name: str
+    cells: list[LibraryCell] = field(default_factory=list)
+    #: area of the C-latch memory cell
+    latch_area: int = 8
+    #: area of a 2-input OR used to combine split covers
+    or2_area: int = 6
+
+    def cheapest_fit(self, cover: Cover) -> LibraryCell | None:
+        """The cheapest cell absorbing the whole cover, if any."""
+        candidates = [cell for cell in self.cells if cell.fits(cover)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda cell: cell.area)
+
+    def map_cover(self, cover: Cover) -> tuple[int, list[str]]:
+        """Map a cover onto the library.
+
+        Returns ``(area, cell_names)``.  If no single cell absorbs the cover
+        it is split per product term (each term mapped to its cheapest cell)
+        and the terms are combined with a tree of 2-input ORs.
+        """
+        if cover.is_empty():
+            return 0, []
+        single = self.cheapest_fit(cover)
+        if single is not None:
+            return single.area, [single.name]
+        area = 0
+        names: list[str] = []
+        for cube in cover:
+            term_cover = Cover([cube], cover.variables)
+            cell = self.cheapest_fit(term_cover)
+            if cell is None:
+                # fall back to an area estimate proportional to the literals
+                area += 2 * cube.num_literals() + 2
+                names.append("wide-and")
+            else:
+                area += cell.area
+                names.append(cell.name)
+        # OR tree to combine the terms
+        or_gates = max(len(cover) - 1, 0)
+        area += or_gates * self.or2_area
+        names.extend(["or2"] * or_gates)
+        return area, names
+
+
+def default_library() -> GateLibrary:
+    """A generic CMOS-style library with complex gates up to four inputs."""
+    cells = [
+        LibraryCell("inv", max_terms=1, max_literals_per_term=1, max_total_literals=1, area=2),
+        LibraryCell("and2", max_terms=1, max_literals_per_term=2, max_total_literals=2, area=6),
+        LibraryCell("and3", max_terms=1, max_literals_per_term=3, max_total_literals=3, area=8),
+        LibraryCell("and4", max_terms=1, max_literals_per_term=4, max_total_literals=4, area=10),
+        LibraryCell("or2", max_terms=2, max_literals_per_term=1, max_total_literals=2, area=6),
+        LibraryCell("aoi21", max_terms=2, max_literals_per_term=2, max_total_literals=3, area=8),
+        LibraryCell("aoi22", max_terms=2, max_literals_per_term=2, max_total_literals=4, area=10),
+        LibraryCell("aoi222", max_terms=3, max_literals_per_term=2, max_total_literals=6, area=14),
+        LibraryCell("oai31", max_terms=2, max_literals_per_term=3, max_total_literals=4, area=10),
+        LibraryCell("complex4x3", max_terms=4, max_literals_per_term=3, max_total_literals=12, area=22),
+    ]
+    return GateLibrary(name="generic-cmos", cells=cells, latch_area=8, or2_area=6)
+
+
+@dataclass
+class MappingResult:
+    """Area report of a mapped circuit."""
+
+    circuit: Circuit
+    total_area: int
+    per_signal_area: dict[str, int] = field(default_factory=dict)
+    cells_used: dict[str, list[str]] = field(default_factory=dict)
+
+
+def map_circuit(circuit: Circuit, library: GateLibrary | None = None) -> MappingResult:
+    """Map every signal network of a circuit onto the library."""
+    if library is None:
+        library = default_library()
+    total = 0
+    per_signal: dict[str, int] = {}
+    cells: dict[str, list[str]] = {}
+    for implementation in circuit:
+        area = 0
+        used: list[str] = []
+        covers = [implementation.set_cover]
+        if implementation.uses_latch:
+            covers.append(implementation.reset_cover)
+        for cover in covers:
+            cover_area, cover_cells = library.map_cover(cover)
+            area += cover_area
+            used.extend(cover_cells)
+        if implementation.uses_latch:
+            area += library.latch_area
+            used.append("c-latch")
+        per_signal[implementation.signal] = area
+        cells[implementation.signal] = used
+        total += area
+    return MappingResult(
+        circuit=circuit,
+        total_area=total,
+        per_signal_area=per_signal,
+        cells_used=cells,
+    )

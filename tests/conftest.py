@@ -1,0 +1,38 @@
+"""Shared fixtures of the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.classic import classic_names, load_classic
+from repro.benchmarks.figures import fig1_stg, fig5_stg, fig6_stg, fig7_glatch_stg
+
+
+@pytest.fixture()
+def fig1():
+    """The running example of the paper (re-creation of Fig. 1)."""
+    return fig1_stg()
+
+
+@pytest.fixture()
+def fig5():
+    """The cover-refinement example (re-creation of Fig. 5)."""
+    return fig5_stg()
+
+
+@pytest.fixture()
+def fig6():
+    """Fig. 5 with the inserted state signal (re-creation of Fig. 6)."""
+    return fig6_stg()
+
+
+@pytest.fixture()
+def glatch3():
+    """The three-input generalized C-latch of Fig. 7."""
+    return fig7_glatch_stg(3)
+
+
+@pytest.fixture(params=classic_names(synthesizable_only=True))
+def classic_stg(request):
+    """Every synthesizable classic benchmark, one at a time."""
+    return load_classic(request.param)

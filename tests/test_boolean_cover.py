@@ -1,0 +1,141 @@
+"""Unit and property-based tests of covers and the two-level minimizer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.boolean.minimize import expand_cover, irredundant_cover, minimize_cover, single_cube_cover
+from repro.boolean.cost import literal_count, sop_transistor_estimate, transistor_estimate
+
+VARS = ["a", "b", "c", "d"]
+
+
+def _all_vertices(variables=VARS):
+    for index in range(1 << len(variables)):
+        yield {v: (index >> i) & 1 for i, v in enumerate(variables)}
+
+
+def cover_strategy():
+    cube = st.dictionaries(
+        st.sampled_from(VARS), st.integers(min_value=0, max_value=1), max_size=4
+    ).map(Cube)
+    return st.lists(cube, max_size=5).map(lambda cubes: Cover(cubes, VARS))
+
+
+class TestCoverBasics:
+    def test_empty_and_universe(self):
+        assert Cover.empty(VARS).is_empty()
+        assert Cover.universe(VARS).is_tautology()
+        assert not Cover.empty(VARS).is_tautology()
+
+    def test_from_strings(self):
+        cover = Cover.from_strings(["1--0", "01--"], VARS)
+        assert len(cover) == 2
+        assert cover.covers_vertex({"a": 1, "b": 0, "c": 1, "d": 0})
+
+    def test_union_removes_contained_cubes(self):
+        big = Cover([Cube({"a": 1})], VARS)
+        small = Cover([Cube({"a": 1, "b": 0})], VARS)
+        assert len(big.union(small)) == 1
+
+    def test_intersection(self):
+        left = Cover([Cube({"a": 1})], VARS)
+        right = Cover([Cube({"b": 0})], VARS)
+        product = left.intersection(right)
+        for vertex in _all_vertices():
+            assert product.covers_vertex(vertex) == (vertex["a"] == 1 and vertex["b"] == 0)
+
+    def test_sharp_is_set_difference(self):
+        left = Cover([Cube({"a": 1})], VARS)
+        right = Cover([Cube({"b": 1})], VARS)
+        difference = left.sharp(right)
+        for vertex in _all_vertices():
+            expected = vertex["a"] == 1 and vertex["b"] == 0
+            assert difference.covers_vertex(vertex) == expected
+
+    def test_complement(self):
+        cover = Cover([Cube({"a": 1}), Cube({"b": 0, "c": 1})], VARS)
+        complement = cover.complement()
+        for vertex in _all_vertices():
+            assert complement.covers_vertex(vertex) != cover.covers_vertex(vertex)
+
+    def test_covers_cube_via_multiple_cubes(self):
+        cover = Cover([Cube({"a": 1, "b": 1}), Cube({"a": 1, "b": 0})], VARS)
+        assert cover.covers_cube(Cube({"a": 1}))
+        assert not cover.covers_cube(Cube({}))
+
+    def test_count_minterms(self):
+        cover = Cover([Cube({"a": 1}), Cube({"a": 0, "b": 1})], VARS)
+        assert cover.count_minterms() == 8 + 4
+
+    def test_restrict_projects_support(self):
+        cover = Cover([Cube({"a": 1, "c": 0})], VARS)
+        projected = cover.restrict(["a", "b"])
+        assert projected.support() == frozenset({"a"})
+
+
+class TestMinimizer:
+    def test_expand_drops_redundant_literals(self):
+        on_set = Cover([Cube({"a": 1, "b": 1, "c": 0})], VARS)
+        off_set = Cover([Cube({"a": 0})], VARS)
+        expanded = expand_cover(on_set, off_set)
+        assert expanded.num_literals() == 1
+        assert expanded.covers_cube(Cube({"a": 1}))
+
+    def test_minimize_preserves_on_set_and_avoids_off_set(self):
+        on_set = Cover.from_strings(["110-", "111-"], VARS)
+        off_set = Cover.from_strings(["0---", "10--"], VARS)
+        result = minimize_cover(on_set, off_set)
+        assert result.contains_cover(on_set)
+        assert not result.intersects_cover(off_set)
+
+    def test_irredundant_removes_duplicate_cubes(self):
+        cover = Cover([Cube({"a": 1}), Cube({"a": 1, "b": 1})], VARS)
+        reduced = irredundant_cover(cover)
+        assert len(reduced) == 1
+
+    def test_single_cube_cover(self):
+        on_set = Cover.from_strings(["110-", "100-"], VARS)
+        off_set = Cover.from_strings(["0---"], VARS)
+        cube = single_cube_cover(on_set, off_set)
+        assert cube == Cube({"a": 1, "c": 0})
+        blocked = single_cube_cover(on_set, Cover.from_strings(["1-01"], VARS))
+        assert blocked is None
+
+    @given(cover_strategy(), cover_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_is_correct_for_disjoint_sets(self, on_set, noise):
+        off_set = noise.sharp(on_set)
+        result = minimize_cover(on_set, off_set)
+        assert result.contains_cover(on_set)
+        assert not result.intersects_cover(off_set)
+
+    @given(cover_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_partitions_space(self, cover):
+        complement = cover.complement()
+        assert not complement.intersects_cover(cover)
+        assert complement.union(cover).is_tautology() or cover.is_empty() and complement.is_tautology()
+
+
+class TestBooleanFunction:
+    def test_consistency_and_correct_cover(self):
+        on_set = Cover.from_strings(["11--"], VARS)
+        off_set = Cover.from_strings(["00--"], VARS)
+        function = BooleanFunction(on_set, off_set, variables=VARS, name="f")
+        assert function.is_consistent()
+        assert function.is_complete()
+        assert function.evaluate({"a": 1, "b": 1, "c": 0, "d": 0}) == 1
+        assert function.evaluate({"a": 0, "b": 0, "c": 0, "d": 0}) == 0
+        assert function.evaluate({"a": 1, "b": 0, "c": 0, "d": 0}) is None
+        assert function.is_correct_cover(Cover.from_strings(["11--", "10--"], VARS))
+        assert not function.is_correct_cover(Cover.from_strings(["10--"], VARS))
+
+    def test_cost_models(self):
+        cover = Cover.from_strings(["11--", "1-1-"], VARS)
+        assert literal_count(cover) == 4
+        assert sop_transistor_estimate(cover) == 2 * 4 + 2 * 2
+        assert transistor_estimate([cover], memory_elements=1) == 12 + 8

@@ -1,0 +1,131 @@
+"""Unit and property-based tests of the cube algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolean.cube import Cube
+
+VARS = ["a", "b", "c", "d"]
+
+
+def cube_strategy(variables=VARS):
+    return st.dictionaries(
+        st.sampled_from(variables), st.integers(min_value=0, max_value=1), max_size=len(variables)
+    ).map(Cube)
+
+
+def vertex_strategy(variables=VARS):
+    return st.fixed_dictionaries({v: st.integers(min_value=0, max_value=1) for v in variables})
+
+
+class TestCubeBasics:
+    def test_universal_cube_has_no_literals(self):
+        assert Cube.universal().is_universal()
+        assert Cube.universal().num_literals() == 0
+
+    def test_from_string_roundtrip(self):
+        cube = Cube.from_string("10-1", VARS)
+        assert cube.to_string(VARS) == "10-1"
+        assert cube["a"] == 1 and cube["b"] == 0 and cube["d"] == 1
+        assert "c" not in cube
+
+    def test_from_string_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("10", VARS)
+
+    def test_invalid_literal_value_rejected(self):
+        with pytest.raises(ValueError):
+            Cube({"a": 2})
+
+    def test_expression_formatting(self):
+        assert Cube({"a": 1, "b": 0}).to_expression() == "a b'"
+        assert Cube.universal().to_expression() == "1"
+
+    def test_intersection_conflict_returns_none(self):
+        assert Cube({"a": 1}).intersect(Cube({"a": 0})) is None
+
+    def test_intersection_merges_literals(self):
+        product = Cube({"a": 1}).intersect(Cube({"b": 0}))
+        assert product == Cube({"a": 1, "b": 0})
+
+    def test_covers_and_containment(self):
+        big = Cube({"a": 1})
+        small = Cube({"a": 1, "b": 0})
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_distance_and_consensus(self):
+        left = Cube({"a": 1, "b": 0})
+        right = Cube({"a": 0, "b": 0})
+        assert left.distance(right) == 1
+        assert left.consensus(right) == Cube({"b": 0})
+        far = Cube({"a": 0, "b": 1})
+        assert left.distance(far) == 2
+        assert left.consensus(far) is None
+
+    def test_supercube(self):
+        left = Cube({"a": 1, "b": 0})
+        right = Cube({"a": 1, "b": 1})
+        assert left.supercube(right) == Cube({"a": 1})
+
+    def test_cofactor(self):
+        cube = Cube({"a": 1, "b": 0})
+        assert cube.cofactor("a", 1) == Cube({"b": 0})
+        assert cube.cofactor("a", 0) is None
+        assert cube.cofactor("c", 1) == cube
+
+    def test_complement_cubes_cover_exactly_the_complement(self):
+        cube = Cube({"a": 1, "b": 0})
+        pieces = cube.complement_cubes()
+        for vertex in _all_vertices():
+            inside = cube.covers_vertex(vertex)
+            in_pieces = any(piece.covers_vertex(vertex) for piece in pieces)
+            assert inside != in_pieces
+
+    def test_size_and_vertices(self):
+        cube = Cube({"a": 1})
+        assert cube.size(VARS) == 8
+        assert len(list(cube.vertices(VARS))) == 8
+
+
+def _all_vertices():
+    for index in range(1 << len(VARS)):
+        yield {v: (index >> i) & 1 for i, v in enumerate(VARS)}
+
+
+class TestCubeProperties:
+    @given(cube_strategy(), vertex_strategy())
+    def test_intersection_semantics(self, cube, vertex):
+        other = Cube({k: v for k, v in list(vertex.items())[:2]})
+        product = cube.intersect(other)
+        covered = cube.covers_vertex(vertex) and other.covers_vertex(vertex)
+        if product is None:
+            assert not covered
+        else:
+            assert product.covers_vertex(vertex) == covered
+
+    @given(cube_strategy(), cube_strategy())
+    def test_covers_is_vertexwise_containment(self, big, small):
+        if big.covers(small):
+            for vertex in small.vertices(VARS):
+                assert big.covers_vertex(vertex)
+
+    @given(cube_strategy(), cube_strategy())
+    def test_supercube_contains_both(self, left, right):
+        union = left.supercube(right)
+        assert union.covers(left)
+        assert union.covers(right)
+
+    @given(cube_strategy())
+    def test_complement_is_disjoint_from_cube(self, cube):
+        for piece in cube.complement_cubes():
+            assert not piece.intersects(cube) or piece.intersect(cube) is None
+
+    @given(cube_strategy(), vertex_strategy())
+    def test_expand_literal_only_grows(self, cube, vertex):
+        for variable in list(cube.support):
+            grown = cube.expand_literal(variable)
+            if cube.covers_vertex(vertex):
+                assert grown.covers_vertex(vertex)

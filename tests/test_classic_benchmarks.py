@@ -1,0 +1,87 @@
+"""Property assertions for the benchmark suite used by the experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import get_benchmark, list_benchmarks
+from repro.benchmarks.classic import CSC_VIOLATING, classic_names, load_classic
+from repro.benchmarks.scalable import (
+    dining_philosophers,
+    independent_cells,
+    independent_cells_marking_count,
+    muller_pipeline,
+)
+from repro.petri.properties import is_free_choice, is_live, is_safe
+from repro.petri.reachability import build_reachability_graph, count_reachable_markings
+from repro.statebased.coding import check_csc
+from repro.stg.consistency import check_consistency_state_based
+
+
+class TestClassicSuite:
+    @pytest.mark.parametrize("name", classic_names())
+    def test_every_benchmark_is_a_valid_specification(self, name):
+        stg = load_classic(name)
+        graph = build_reachability_graph(stg.net)
+        assert is_free_choice(stg.net), name
+        assert is_safe(stg.net, graph), name
+        assert is_live(stg.net, graph), name
+        assert check_consistency_state_based(stg, graph).consistent, name
+
+    @pytest.mark.parametrize("name", classic_names(synthesizable_only=True))
+    def test_synthesizable_benchmarks_satisfy_csc(self, name):
+        assert check_csc(load_classic(name)), name
+
+    @pytest.mark.parametrize("name", sorted(CSC_VIOLATING))
+    def test_csc_violating_benchmarks_really_violate_csc(self, name):
+        assert not check_csc(load_classic(name)), name
+
+    def test_registry_contains_the_suite(self):
+        names = list_benchmarks()
+        for name in classic_names():
+            assert name in names
+        assert "fig1" in names
+        stg = get_benchmark("handshake_seq")
+        assert stg.name == "handshake_seq"
+        with pytest.raises(KeyError):
+            get_benchmark("no_such_benchmark")
+
+
+class TestScalableGenerators:
+    @pytest.mark.parametrize("stages", [1, 2, 4, 6])
+    def test_muller_pipeline_is_consistent_and_safe(self, stages):
+        stg = muller_pipeline(stages)
+        graph = build_reachability_graph(stg.net)
+        assert is_safe(stg.net, graph)
+        assert is_live(stg.net, graph)
+        assert check_consistency_state_based(stg, graph).consistent
+        assert check_csc(stg)
+
+    @pytest.mark.parametrize("philosophers", [2, 3, 4])
+    def test_dining_philosophers_is_consistent(self, philosophers):
+        stg = dining_philosophers(philosophers)
+        graph = build_reachability_graph(stg.net)
+        assert is_safe(stg.net, graph)
+        assert is_live(stg.net, graph)
+        assert not is_free_choice(stg.net)  # the shared forks create non-FC conflicts
+        assert check_consistency_state_based(stg, graph).consistent
+
+    @pytest.mark.parametrize("cells", [1, 2, 3, 5])
+    def test_independent_cells_marking_count_closed_form(self, cells):
+        stg = independent_cells(cells)
+        assert count_reachable_markings(stg.net) == independent_cells_marking_count(cells)
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(ValueError):
+            muller_pipeline(0)
+        with pytest.raises(ValueError):
+            dining_philosophers(1)
+        with pytest.raises(ValueError):
+            independent_cells(0)
+
+    def test_large_instances_stay_linear_in_size(self):
+        stg = independent_cells(45)
+        assert stg.net.num_places() == 4 * 45
+        assert stg.net.num_transitions() == 4 * 45
+        pipeline = muller_pipeline(32)
+        assert pipeline.net.num_transitions() == 2 * 32 + 2

@@ -1,0 +1,63 @@
+"""Smoke tests of the experiment harness (small configurations).
+
+The full sweeps live under ``benchmarks/``; these tests run reduced versions
+so that the table/figure code paths are exercised by the unit-test run.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import scalable
+from repro.experiments.fig13 import LEVELS, fig13_rows
+from repro.experiments.reporting import format_table
+from repro.experiments.table5 import table5_rows
+from repro.experiments.table6 import table6_rows
+from repro.experiments.table7 import table7_rows
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "222" in text and "xy" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+
+class TestFig13:
+    def test_levels_improve_on_a_small_set(self):
+        rows = fig13_rows(["handshake_seq", "sequencer", "converter_2to4"])
+        assert [row["level"] for row in rows] == list(LEVELS)
+        literals = {row["level"]: row["avg_literals"] for row in rows}
+        # the full minimization never loses against the initial covers
+        assert literals["M5"] <= literals["M1"] + 1e-9
+        assert literals["M3"] <= literals["M2"] + 1e-9
+        assert rows[0]["normalized_area"] == 1.0
+        assert all(row["avg_area"] > 0 for row in rows)
+
+
+class TestTable5:
+    def test_rows_include_totals_and_verification(self):
+        rows = table5_rows(["handshake_seq", "completion"], verify=True)
+        assert rows[-1]["benchmark"] == "TOTAL"
+        assert all(row["s3c_SI"] for row in rows[:-1])
+        assert all(row["base_SI"] for row in rows[:-1])
+
+
+class TestTables6And7:
+    def test_structural_completes_where_baseline_blows_up(self):
+        cases = [
+            ("independent_cells_4", lambda: scalable.independent_cells(4), 4 ** 4),
+            ("independent_cells_10", lambda: scalable.independent_cells(10), 4 ** 10),
+        ]
+        rows = table6_rows(cases, baseline_limit=1000)
+        assert isinstance(rows[0]["statebased_s"], float)
+        assert rows[1]["statebased_s"] == "blow-up"
+        assert all(isinstance(row["structural_s"], float) for row in rows)
+
+    def test_table7_small_sweep(self):
+        rows = table7_rows(philosophers=(3,), pipelines=(4,), baseline_limit=5000)
+        assert len(rows) == 2
+        assert all(isinstance(row["structural_s"], float) for row in rows)
