@@ -2,28 +2,92 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.benchmarks import scalable
 from repro.experiments.table6 import table6_rows
+from repro.petri.reachability import count_reachable_markings
 
 
-def test_table6_cpu_comparison(benchmark, print_table):
-    """Regenerate Table VI (reduced sizes keep the harness fast; the full
-    sweep including the 10^27-marking instance runs in the same code path)."""
+def test_table6_cpu_comparison(benchmark, print_table, perf_record):
+    """Regenerate Table VI.
+
+    The bit-packed kernel makes the structural flow cheap enough to run the
+    wide instances (``independent_cells(60)``, ``muller_pipeline(64)``) in
+    the harness; the full sweep including the 10^27-marking instance runs in
+    the same code path.
+    """
     cases = [
         ("independent_cells_5", lambda: scalable.independent_cells(5), 4 ** 5),
         ("independent_cells_8", lambda: scalable.independent_cells(8), 4 ** 8),
         ("independent_cells_20", lambda: scalable.independent_cells(20), 4 ** 20),
         ("independent_cells_45", lambda: scalable.independent_cells(45), 4 ** 45),
+        ("independent_cells_60", lambda: scalable.independent_cells(60), 4 ** 60),
         ("muller_pipeline_8", lambda: scalable.muller_pipeline(8), None),
         ("muller_pipeline_16", lambda: scalable.muller_pipeline(16), None),
+        ("muller_pipeline_64", lambda: scalable.muller_pipeline(64), None),
     ]
     rows = benchmark.pedantic(
         table6_rows, args=(cases,), kwargs={"baseline_limit": 50_000},
         iterations=1, rounds=1,
     )
     print_table(rows, title="Table VI — CPU time: structural vs state-based")
+    perf_record["results"]["table6"] = rows
     # The structural flow completes on every instance, including the ones
     # whose state space the baseline cannot enumerate.
     assert all(isinstance(row["structural_s"], float) for row in rows)
     blowups = [row for row in rows if row["statebased_s"] == "blow-up"]
     assert blowups, "expected at least one state-based blow-up row"
+
+
+def test_kernel_marking_count(benchmark, perf_record):
+    """Bit-packed BFS over the muller_pipeline(16) state space.
+
+    The seed (dict-based) implementation needed ~8 s for the 131072
+    markings (recorded as the baseline in BENCH_PR1.json).  The regression
+    guard compares the kernel against the reference implementation measured
+    on *this* machine (on the 12-stage instance, to keep the reference run
+    short), so the assertion is robust to host speed.
+    """
+    from repro.petri.reachability import _reference_count_reachable_markings
+
+    net = scalable.muller_pipeline(16).net
+    timings: list[float] = []
+
+    def count() -> int:
+        start = time.perf_counter()
+        markings = count_reachable_markings(net)
+        timings.append(time.perf_counter() - start)
+        return markings
+
+    markings = benchmark.pedantic(count, iterations=1, rounds=1)
+    seconds = timings[-1]
+    assert markings == 131072
+    perf_record["results"].setdefault("count_reachable_markings_s", {})[
+        "muller_pipeline_16"
+    ] = round(seconds, 4)
+    perf_record["results"].setdefault("count_reachable_markings", {})[
+        "muller_pipeline_16"
+    ] = markings
+
+    # Same-machine speedup guard on the 12-stage instance.
+    small = scalable.muller_pipeline(12).net
+    start = time.perf_counter()
+    reference_markings = _reference_count_reachable_markings(
+        small, small.initial_marking
+    )
+    reference_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    kernel_markings = count_reachable_markings(small)
+    kernel_seconds = time.perf_counter() - start
+    assert kernel_markings == reference_markings
+    speedup = reference_seconds / kernel_seconds if kernel_seconds > 0 else float("inf")
+    perf_record["results"]["kernel_vs_reference_muller_12"] = {
+        "reference_s": round(reference_seconds, 4),
+        "kernel_s": round(kernel_seconds, 4),
+        "speedup": round(speedup, 2),
+    }
+    assert speedup > 3, (
+        f"kernel only {speedup:.2f}x faster than the reference BFS "
+        f"({kernel_seconds:.3f}s vs {reference_seconds:.3f}s)"
+    )

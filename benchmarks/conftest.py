@@ -5,14 +5,35 @@ section; the resulting rows are printed so that running
 
     pytest benchmarks/ --benchmark-only -s
 
-produces the reproduced tables alongside the timing numbers.
+produces the reproduced tables alongside the timing numbers.  Bench modules
+also push their rows into the session-scoped ``perf_record`` fixture, which
+is persisted as ``BENCH_PR1.json`` at the repo root when the session ends —
+the machine-readable perf trajectory consumed by later PRs.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, write_perf_record
+
+#: Timings of the seed (pre-kernel, dict-based) implementation, measured on
+#: the same cases the bench modules run, so BENCH_PR1.json carries
+#: before/after numbers for the bit-packed kernel in a single record.
+SEED_BASELINE = {
+    "count_reachable_markings_s": {"muller_pipeline_16": 7.971},
+    "table6_structural_s": {
+        "independent_cells_5": 0.007,
+        "independent_cells_8": 0.012,
+        "independent_cells_20": 0.066,
+        "independent_cells_45": 0.506,
+        "muller_pipeline_8": 0.055,
+        "muller_pipeline_16": 0.392,
+        "total": 1.038,
+    },
+}
 
 
 @pytest.fixture(scope="session")
@@ -28,3 +49,54 @@ def print_table():
         return text
 
     yield _print
+
+
+#: results keys every full benchmark session produces; the record is only
+#: persisted when all of them are present.
+_REQUIRED_SECTIONS = ("table6", "table7", "count_reachable_markings_s")
+
+
+@pytest.fixture(scope="session")
+def perf_record(request):
+    """Session-wide perf record, persisted as BENCH_PR1.json on teardown."""
+    record: dict = {
+        "pr": 1,
+        "kernel": "bit-packed compiled kernel (markings/cubes/reachability)",
+        "seed_baseline": SEED_BASELINE,
+        "results": {},
+    }
+    yield record
+    # Only persist complete, passing runs: a partial invocation (single
+    # module, -k, aborted session) or a failing session must not clobber the
+    # committed perf trajectory with an incomplete or unrepresentative record.
+    if any(key not in record["results"] for key in _REQUIRED_SECTIONS):
+        return
+    if request.session.testsfailed:
+        return
+    repo_root = Path(__file__).resolve().parent.parent
+    # Derive headline speedups for the cases that have a seed counterpart.
+    table6 = record["results"].get("table6", [])
+    structural = {
+        row["benchmark"]: row["structural_s"]
+        for row in table6
+        if isinstance(row.get("structural_s"), float)
+    }
+    seed = SEED_BASELINE["table6_structural_s"]
+    shared = [name for name in structural if name in seed and name != "total"]
+    speedups = {
+        name: round(seed[name] / structural[name], 2)
+        for name in shared
+        if structural[name] > 0
+    }
+    if shared:
+        seed_total = sum(seed[name] for name in shared)
+        new_total = sum(structural[name] for name in shared)
+        if new_total > 0:
+            speedups["table6_structural_total"] = round(seed_total / new_total, 2)
+    count = record["results"].get("count_reachable_markings_s", {})
+    for name, seconds in count.items():
+        baseline = SEED_BASELINE["count_reachable_markings_s"].get(name)
+        if baseline and seconds > 0:
+            speedups[f"count_reachable_markings:{name}"] = round(baseline / seconds, 2)
+    record["speedup_vs_seed"] = speedups
+    write_perf_record(repo_root / "BENCH_PR1.json", record)

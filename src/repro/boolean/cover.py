@@ -7,7 +7,10 @@ intersection, containment) do not need it.
 
 Containment and tautology use the unate-recursive paradigm (Shannon expansion
 with unate-reduction shortcuts), which keeps the region-cover checks of the
-synthesis flow well below minterm enumeration cost.
+synthesis flow well below minterm enumeration cost.  The recursion runs
+entirely on the bit-packed ``(care, value)`` form of the cubes (see
+:mod:`repro.boolean.interning`), so cofactoring and unate detection are plain
+integer operations.
 """
 
 from __future__ import annotations
@@ -16,25 +19,48 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import Optional
 
 from repro.boolean.cube import Cube
+from repro.boolean.interning import mask_of_tuple
 
 
 class Cover:
     """A sum-of-products form over a fixed variable universe."""
 
-    __slots__ = ("_cubes", "_variables")
+    __slots__ = ("_cubes", "_variables", "_mask")
 
     def __init__(self, cubes: Iterable[Cube] = (), variables: Iterable[str] = ()):
         self._cubes: list[Cube] = list(cubes)
-        self._variables: tuple[str, ...] = tuple(variables)
-        universe = set(self._variables)
-        extra: list[str] = []
+        declared = tuple(variables)
+        mask = mask_of_tuple(declared) if declared else 0
+        if mask.bit_count() != len(declared):
+            declared = tuple(dict.fromkeys(declared))
+        cube_mask = 0
         for cube in self._cubes:
-            for var in cube.support:
-                if var not in universe:
-                    universe.add(var)
-                    extra.append(var)
-        if extra:
-            self._variables = self._variables + tuple(extra)
+            cube_mask |= cube._care
+        if cube_mask & ~mask:
+            # Extend the universe with undeclared variables, in first-seen
+            # cube order (matching the historical dict-based behaviour).
+            universe = set(declared)
+            extra: list[str] = []
+            for cube in self._cubes:
+                if not cube._care & ~mask:
+                    continue
+                for var in cube._literals:
+                    if var not in universe:
+                        universe.add(var)
+                        extra.append(var)
+            declared = declared + tuple(extra)
+            mask |= cube_mask
+        self._variables: tuple[str, ...] = declared
+        self._mask = mask
+
+    @classmethod
+    def _make(cls, cubes: list[Cube], variables: tuple[str, ...], mask: int) -> "Cover":
+        """Internal fast constructor; cube supports must be within ``mask``."""
+        self = cls.__new__(cls)
+        self._cubes = cubes
+        self._variables = variables
+        self._mask = mask
+        return self
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -125,19 +151,19 @@ class Cover:
 
         Implemented as a tautology check of the cover cofactored by the cube.
         """
-        if any(other.covers(cube) for other in self._cubes):
-            return True
-        cofactored = []
+        care = cube._care
+        value = cube._value
+        cofactored: list[tuple[int, int]] = []
         for other in self._cubes:
-            reduced = other.cofactor_cube(cube)
-            if reduced is not None:
-                cofactored.append(reduced)
+            other_care = other._care
+            if (other._value ^ value) & other_care & care:
+                continue  # disjoint from the cube
+            if not other_care & ~care:
+                return True  # cofactor is universal: single-cube containment
+            cofactored.append((other_care & ~care, other._value & ~care))
         if not cofactored:
             return False
-        variables = set()
-        for item in cofactored:
-            variables |= item.support
-        return _is_tautology(cofactored, sorted(variables))
+        return _is_tautology_packed(cofactored)
 
     def contains_cover(self, other: "Cover") -> bool:
         """True if every vertex of ``other`` is covered by this cover."""
@@ -145,7 +171,12 @@ class Cover:
 
     def intersects_cube(self, cube: Cube) -> bool:
         """True if the cover shares at least one vertex with ``cube``."""
-        return any(other.intersects(cube) for other in self._cubes)
+        care = cube._care
+        value = cube._value
+        for other in self._cubes:
+            if not (other._value ^ value) & other._care & care:
+                return True
+        return False
 
     def intersects_cover(self, other: "Cover") -> bool:
         """True if the two covers share at least one vertex."""
@@ -153,7 +184,7 @@ class Cover:
 
     def num_literals(self) -> int:
         """Total literal count of the SOP form."""
-        return sum(cube.num_literals() for cube in self._cubes)
+        return sum(len(cube._literals) for cube in self._cubes)
 
     def support(self) -> frozenset[str]:
         """Union of the supports of all cubes."""
@@ -168,13 +199,14 @@ class Cover:
         Uses recursive Shannon expansion; exponential in the worst case but
         adequate for the region sizes handled in the test-suite.
         """
-        return _count_minterms(list(self._cubes), list(self._variables))
+        pairs = [(cube._care, cube._value) for cube in self._cubes]
+        return _count_minterms_packed(pairs, self._mask, len(self._variables))
 
     def is_tautology(self) -> bool:
         """True if the cover covers the whole Boolean space of its universe."""
         if not self._cubes:
             return False
-        return _is_tautology(list(self._cubes), list(self._variables))
+        return _is_tautology_packed([(cube._care, cube._value) for cube in self._cubes])
 
     # ------------------------------------------------------------------ #
     # Algebraic operations
@@ -182,31 +214,44 @@ class Cover:
 
     def add_cube(self, cube: Cube) -> "Cover":
         """Cover with one more cube (single-cube containment removed)."""
-        if any(other.covers(cube) for other in self._cubes):
-            return self
+        for other in self._cubes:
+            if other.covers(cube):
+                return self
         kept = [other for other in self._cubes if not cube.covers(other)]
         kept.append(cube)
-        return Cover(kept, self._variables)
+        if cube._care & ~self._mask:
+            return Cover(kept, self._variables)
+        return Cover._make(kept, self._variables, self._mask)
 
     def union(self, other: "Cover") -> "Cover":
         """Disjunction of two covers (with single-cube containment removal)."""
-        result = Cover(self._cubes, self._variables + other._variables)
-        for cube in other:
-            result = result.add_cube(cube)
-        return result
+        variables, mask = self._merged_universe(other)
+        kept = list(self._cubes)
+        for cube in other._cubes:
+            covered = False
+            for own in kept:
+                if own.covers(cube):
+                    covered = True
+                    break
+            if covered:
+                continue
+            kept = [own for own in kept if not cube.covers(own)]
+            kept.append(cube)
+        return Cover._make(kept, variables, mask)
 
     def __or__(self, other: "Cover") -> "Cover":
         return self.union(other)
 
     def intersection(self, other: "Cover") -> "Cover":
         """Conjunction of two covers (pairwise cube products)."""
+        variables, mask = self._merged_universe(other)
         products: list[Cube] = []
         for left in self._cubes:
-            for right in other:
+            for right in other._cubes:
                 product = left.intersect(right)
                 if product is not None:
                     products.append(product)
-        return Cover(products, self._variables + other._variables).remove_contained()
+        return Cover._make(products, variables, mask).remove_contained()
 
     def __and__(self, other: "Cover") -> "Cover":
         return self.intersection(other)
@@ -218,7 +263,9 @@ class Cover:
             product = other.intersect(cube)
             if product is not None:
                 products.append(product)
-        return Cover(products, self._variables).remove_contained()
+        if cube._care & ~self._mask:
+            return Cover(products, self._variables).remove_contained()
+        return Cover._make(products, self._variables, self._mask).remove_contained()
 
     def sharp_cube(self, cube: Cube) -> "Cover":
         """Difference ``cover \\ cube`` (sharp operation)."""
@@ -233,7 +280,9 @@ class Cover:
                 product = own.intersect(piece)
                 if product is not None:
                     result.append(product)
-        return Cover(result, self._variables).remove_contained()
+        if cube._care & ~self._mask:
+            return Cover(result, self._variables).remove_contained()
+        return Cover._make(result, self._variables, self._mask).remove_contained()
 
     def sharp(self, other: "Cover") -> "Cover":
         """Difference ``cover \\ other``."""
@@ -259,11 +308,16 @@ class Cover:
     def remove_contained(self) -> "Cover":
         """Remove cubes that are single-cube contained in another cube."""
         kept: list[Cube] = []
-        cubes = sorted(self._cubes, key=lambda c: c.num_literals())
+        cubes = sorted(self._cubes, key=Cube.num_literals)
         for cube in cubes:
-            if not any(other.covers(cube) for other in kept):
+            contained = False
+            for other in kept:
+                if other.covers(cube):
+                    contained = True
+                    break
+            if not contained:
                 kept.append(cube)
-        return Cover(kept, self._variables)
+        return Cover._make(kept, self._variables, self._mask)
 
     def restrict(self, variables: Iterable[str]) -> "Cover":
         """Project every cube onto a subset of variables (existential)."""
@@ -284,72 +338,90 @@ class Cover:
         """Return the same cover declared over a (larger) variable universe."""
         return Cover(self._cubes, variables)
 
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _merged_universe(self, other: "Cover") -> tuple[tuple[str, ...], int]:
+        """Universe (variables, mask) of a binary operation's result."""
+        if not other._mask & ~self._mask:
+            return self._variables, self._mask
+        seen = set(self._variables)
+        variables = self._variables + tuple(
+            v for v in other._variables if v not in seen
+        )
+        return variables, self._mask | other._mask
+
 
 # ---------------------------------------------------------------------- #
-# Unate-recursive helpers
+# Unate-recursive helpers (bit-packed)
 # ---------------------------------------------------------------------- #
 
 
-def _is_tautology(cubes: list[Cube], variables: list[str]) -> bool:
-    """Tautology check by Shannon expansion with unate shortcuts."""
-    if any(cube.is_universal() for cube in cubes):
-        return True
-    if not cubes:
+def _is_tautology_packed(pairs: list[tuple[int, int]]) -> bool:
+    """Tautology check by Shannon expansion on packed ``(care, value)`` pairs.
+
+    Unate reduction: a variable is a candidate split only when it appears with
+    both polarities (its bit is set in some value mask and cleared in some
+    care-bound position); if no variable is binate the cover is a tautology
+    only if it contains the universal cube.
+    """
+    ones = 0
+    zeros = 0
+    for care, value in pairs:
+        if care == 0:
+            return True
+        ones |= value
+        zeros |= care & ~value
+    if not pairs:
         return False
-    # Unate reduction: if some variable appears only with one polarity, the
-    # cover is a tautology only if the cubes independent of it already are.
-    polarity: dict[str, set[int]] = {}
-    for cube in cubes:
-        for var, value in cube.items():
-            polarity.setdefault(var, set()).add(value)
-    split_var = None
-    for var in variables:
-        values = polarity.get(var)
-        if values is None:
-            continue
-        if len(values) == 2:
-            split_var = var
-            break
-    if split_var is None:
+    binate = ones & zeros
+    if binate == 0:
         # Every bound variable is unate: tautology iff some universal cube,
         # which was already checked above.
         return False
-    rest = [v for v in variables if v != split_var]
-    for value in (0, 1):
-        branch = []
-        for cube in cubes:
-            item = cube.cofactor(split_var, value)
-            if item is not None:
-                branch.append(item)
-        if not _is_tautology(branch, rest):
+    bit = binate & -binate
+    for branch_value in (0, bit):
+        branch: list[tuple[int, int]] = []
+        for care, value in pairs:
+            if care & bit:
+                if value & bit == branch_value:
+                    branch.append((care ^ bit, value & ~bit))
+            else:
+                branch.append((care, value))
+        if not _is_tautology_packed(branch):
             return False
     return True
 
 
-def _count_minterms(cubes: list[Cube], variables: list[str]) -> int:
-    """Count minterms of a cube list over ``variables`` by Shannon expansion."""
-    if not cubes:
+def _count_minterms_packed(
+    pairs: list[tuple[int, int]], universe_mask: int, num_vars: int
+) -> int:
+    """Count minterms of packed cubes over a ``universe_mask`` of variables."""
+    if not pairs:
         return 0
-    if any(cube.is_universal() for cube in cubes):
-        return 1 << len(variables)
-    if len(cubes) == 1:
-        free = sum(1 for v in variables if v not in cubes[0])
+    bound = 0
+    for care, _ in pairs:
+        if care == 0:
+            return 1 << num_vars
+        bound |= care
+    if len(pairs) == 1:
+        free = num_vars - (pairs[0][0] & universe_mask).bit_count()
         return 1 << free
-    split_var = None
-    for var in variables:
-        if any(var in cube for cube in cubes):
-            split_var = var
-            break
-    if split_var is None:
+    split = bound & universe_mask
+    if split == 0:
         # No cube depends on the remaining variables.
-        return 1 << len(variables) if cubes else 0
-    rest = [v for v in variables if v != split_var]
+        return 1 << num_vars
+    bit = split & -split
+    rest_mask = universe_mask & ~bit
     total = 0
-    for value in (0, 1):
-        branch = []
-        for cube in cubes:
-            item = cube.cofactor(split_var, value)
-            if item is not None:
-                branch.append(item)
-        total += _count_minterms(branch, rest)
+    for branch_value in (0, bit):
+        branch: list[tuple[int, int]] = []
+        for care, value in pairs:
+            if care & bit:
+                if value & bit == branch_value:
+                    branch.append((care ^ bit, value & ~bit))
+            else:
+                branch.append((care, value))
+        total += _count_minterms_packed(branch, rest_mask, num_vars - 1)
     return total

@@ -8,12 +8,22 @@ on them).  The empty mapping is the universal cube (constant ``1``).
 The representation mirrors the positional-cube notation of the paper
 (Section II-A): the character string of a cube over an ordered list of
 variables uses ``0``, ``1`` and ``-``.
+
+Internally every cube also carries a bit-packed form over the global variable
+order of :mod:`repro.boolean.interning`: a *care mask* (one bit per bound
+variable) and a *value mask* (the bit of a bound variable is set iff its
+literal is positive).  All the hot cube-algebra predicates — ``covers``,
+``intersects``, ``distance``, ``consensus``, ``intersect`` — reduce to a few
+integer operations on these masks; the name-based mapping interface is kept
+as the user-facing layer.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
 from typing import Optional
+
+from repro.boolean.interning import _VAR_INDEX, var_index, var_name
 
 
 class Cube(Mapping[str, int]):
@@ -33,15 +43,38 @@ class Cube(Mapping[str, int]):
     True
     """
 
-    __slots__ = ("_literals", "_hash")
+    __slots__ = ("_literals", "_care", "_value", "_support", "_hash")
 
     def __init__(self, literals: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
         items = dict(literals)
-        for var, value in items.items():
-            if value not in (0, 1):
-                raise ValueError(f"literal value for {var!r} must be 0 or 1, got {value!r}")
+        care = 0
+        value = 0
+        for var, bound in items.items():
+            index = _VAR_INDEX.get(var)
+            if index is None:
+                index = var_index(var)
+            bit = 1 << index
+            care |= bit
+            if bound == 1:
+                value |= bit
+            elif bound != 0:
+                raise ValueError(f"literal value for {var!r} must be 0 or 1, got {bound!r}")
         self._literals: dict[str, int] = items
+        self._care = care
+        self._value = value
+        self._support: Optional[frozenset[str]] = None
         self._hash: Optional[int] = None
+
+    @classmethod
+    def _raw(cls, items: dict[str, int], care: int, value: int) -> "Cube":
+        """Internal fast constructor for pre-validated literal dicts."""
+        self = cls.__new__(cls)
+        self._literals = items
+        self._care = care
+        self._value = value
+        self._support = None
+        self._hash = None
+        return self
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -99,12 +132,12 @@ class Cube(Mapping[str, int]):
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._literals.items()))
+            self._hash = hash((self._care, self._value))
         return self._hash
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Cube):
-            return self._literals == other._literals
+            return self._care == other._care and self._value == other._value
         if isinstance(other, Mapping):
             return self._literals == dict(other)
         return NotImplemented
@@ -130,7 +163,21 @@ class Cube(Mapping[str, int]):
     @property
     def support(self) -> frozenset[str]:
         """The set of variables the cube depends on."""
-        return frozenset(self._literals)
+        support = self._support
+        if support is None:
+            support = frozenset(self._literals)
+            self._support = support
+        return support
+
+    @property
+    def care_mask(self) -> int:
+        """Packed care mask over the global variable order."""
+        return self._care
+
+    @property
+    def value_mask(self) -> int:
+        """Packed value mask over the global variable order."""
+        return self._value
 
     def is_universal(self) -> bool:
         """True if this cube is the constant-1 cube (no literals)."""
@@ -154,30 +201,18 @@ class Cube(Mapping[str, int]):
         Two cubes are disjoint when some variable appears with opposite
         polarities.
         """
-        if len(other._literals) < len(self._literals):
-            small, large = other._literals, self._literals
-        else:
-            small, large = self._literals, other._literals
-        merged = dict(large)
-        for var, value in small.items():
-            existing = merged.get(var)
-            if existing is None:
-                merged[var] = value
-            elif existing != value:
-                return None
-        return Cube(merged)
+        if (self._value ^ other._value) & self._care & other._care:
+            return None
+        merged = dict(self._literals)
+        merged.update(other._literals)
+        return Cube._raw(merged, self._care | other._care, self._value | other._value)
 
     def __and__(self, other: "Cube") -> Optional["Cube"]:
         return self.intersect(other)
 
     def intersects(self, other: "Cube") -> bool:
         """True if the two cubes share at least one vertex."""
-        own = self._literals
-        for var, value in other._literals.items():
-            existing = own.get(var)
-            if existing is not None and existing != value:
-                return False
-        return True
+        return not (self._value ^ other._value) & self._care & other._care
 
     def covers(self, other: "Cube") -> bool:
         """True if every vertex of ``other`` is a vertex of this cube.
@@ -185,11 +220,8 @@ class Cube(Mapping[str, int]):
         Equivalent to: every literal of ``self`` appears in ``other`` with the
         same polarity.
         """
-        other_literals = other._literals
-        for var, value in self._literals.items():
-            if other_literals.get(var) != value:
-                return False
-        return True
+        care = self._care
+        return not (care & ~other._care) and not (self._value ^ other._value) & care
 
     def covers_vertex(self, vertex: Mapping[str, int]) -> bool:
         """True if a complete assignment ``vertex`` satisfies the cube."""
@@ -200,39 +232,30 @@ class Cube(Mapping[str, int]):
 
     def distance(self, other: "Cube") -> int:
         """Number of variables in which the cubes have opposite literals."""
-        count = 0
-        other_literals = other._literals
-        for var, value in self._literals.items():
-            existing = other_literals.get(var)
-            if existing is not None and existing != value:
-                count += 1
-        return count
+        return ((self._value ^ other._value) & self._care & other._care).bit_count()
 
     def consensus(self, other: "Cube") -> Optional["Cube"]:
         """The consensus (resolvent) of two cubes at distance exactly one."""
-        clash = None
-        other_literals = other._literals
-        for var, value in self._literals.items():
-            existing = other_literals.get(var)
-            if existing is not None and existing != value:
-                if clash is not None:
-                    return None
-                clash = var
-        if clash is None:
+        clash_mask = (self._value ^ other._value) & self._care & other._care
+        if clash_mask == 0 or clash_mask & (clash_mask - 1):
             return None
+        clash = var_name(clash_mask.bit_length() - 1)
         merged = dict(self._literals)
-        merged.update(other_literals)
+        merged.update(other._literals)
         del merged[clash]
-        return Cube(merged)
+        care = (self._care | other._care) & ~clash_mask
+        return Cube._raw(merged, care, (self._value | other._value) & care)
 
     def supercube(self, other: "Cube") -> "Cube":
         """Smallest cube containing both cubes."""
+        other_literals = other._literals
         merged = {
             var: value
             for var, value in self._literals.items()
-            if other._literals.get(var) == value
+            if other_literals.get(var) == value
         }
-        return Cube(merged)
+        care = self._care & other._care & ~(self._value ^ other._value)
+        return Cube._raw(merged, care, self._value & care)
 
     def cofactor(self, variable: str, value: int) -> Optional["Cube"]:
         """Cofactor with respect to ``variable = value``.
@@ -248,18 +271,24 @@ class Cube(Mapping[str, int]):
             return None
         reduced = dict(self._literals)
         del reduced[variable]
-        return Cube(reduced)
+        bit = 1 << _VAR_INDEX[variable]
+        return Cube._raw(reduced, self._care & ~bit, self._value & ~bit)
 
     def cofactor_cube(self, other: "Cube") -> Optional["Cube"]:
         """Generalized cofactor of this cube with respect to another cube."""
-        if not self.intersects(other):
+        if (self._value ^ other._value) & self._care & other._care:
             return None
+        other_care = other._care
+        if not self._care & other_care:
+            return self
+        other_literals = other._literals
         reduced = {
             var: value
             for var, value in self._literals.items()
-            if var not in other._literals
+            if var not in other_literals
         }
-        return Cube(reduced)
+        care = self._care & ~other_care
+        return Cube._raw(reduced, care, self._value & care)
 
     def expand_literal(self, variable: str) -> "Cube":
         """Return the cube with ``variable`` removed from its support."""
@@ -267,12 +296,13 @@ class Cube(Mapping[str, int]):
             return self
         reduced = dict(self._literals)
         del reduced[variable]
-        return Cube(reduced)
+        bit = 1 << _VAR_INDEX[variable]
+        return Cube._raw(reduced, self._care & ~bit, self._value & ~bit)
 
     def restrict(self, variables: Iterable[str]) -> "Cube":
         """Project the cube onto a subset of variables."""
         allowed = set(variables)
-        return Cube({v: k for v, k in self._literals.items() if v in allowed})
+        return Cube({var: val for var, val in self._literals.items() if var in allowed})
 
     def with_literal(self, variable: str, value: int) -> "Cube":
         """Return a new cube with ``variable`` bound to ``value``."""
@@ -283,7 +313,7 @@ class Cube(Mapping[str, int]):
     def without_literals(self, variables: Iterable[str]) -> "Cube":
         """Return a new cube with the given variables removed (made free)."""
         drop = set(variables)
-        return Cube({v: k for v, k in self._literals.items() if v not in drop})
+        return Cube({var: val for var, val in self._literals.items() if var not in drop})
 
     def complement_cubes(self) -> list["Cube"]:
         """Complement of a single cube as a list of disjoint cubes.

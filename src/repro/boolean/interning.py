@@ -1,0 +1,82 @@
+"""Global variable interner shared by the bit-packed cube kernel.
+
+Cubes are packed into two machine integers (a *care mask* and a *value
+mask*) over a global variable order: the first time a variable name is seen
+anywhere in the process it is assigned the next free bit index, and that
+assignment never changes.  Because indices only grow and are never reused,
+masks computed at different times remain directly comparable, which is what
+lets :class:`~repro.boolean.cube.Cube` cache its packed form forever.
+
+The interner is intentionally process-global: the synthesis flow creates
+cubes for the same signal universe in many modules, and a shared order means
+any two cubes can be combined with plain integer operations without a
+translation step.
+
+Trade-off: the tables are append-only, so a process that keeps inventing
+fresh variable names (e.g. an unbounded stream of unrelated synthesis jobs)
+grows the bit width of later masks and never reclaims entries.  For the
+bounded signal universes of a synthesis run this is irrelevant; a future
+server-style deployment should scope an interner per job (the machinery
+already takes the index maps as plain dicts, so this is a constructor away).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: variable name -> bit index (append-only)
+_VAR_INDEX: dict[str, int] = {}
+#: bit index -> variable name
+_VAR_NAMES: list[str] = []
+#: memoised masks for frequently reused variable tuples (signal universes)
+_MASK_CACHE: dict[tuple[str, ...], int] = {}
+
+
+def var_index(name: str) -> int:
+    """Bit index of a variable, interning it on first use."""
+    index = _VAR_INDEX.get(name)
+    if index is None:
+        index = len(_VAR_NAMES)
+        _VAR_INDEX[name] = index
+        _VAR_NAMES.append(name)
+    return index
+
+
+def var_name(index: int) -> str:
+    """Variable name of a bit index."""
+    return _VAR_NAMES[index]
+
+
+def mask_of(names: Iterable[str]) -> int:
+    """Bitmask with the bit of every name set (names are interned)."""
+    mask = 0
+    for name in names:
+        index = _VAR_INDEX.get(name)
+        if index is None:
+            index = var_index(name)
+        mask |= 1 << index
+    return mask
+
+
+def mask_of_tuple(names: tuple[str, ...]) -> int:
+    """Memoised :func:`mask_of` for hashable variable tuples.
+
+    Cover universes (``stg.signal_names``) are re-declared on almost every
+    cover operation; caching per tuple turns the per-construction cost into a
+    single dict lookup.
+    """
+    mask = _MASK_CACHE.get(names)
+    if mask is None:
+        mask = mask_of(names)
+        _MASK_CACHE[names] = mask
+    return mask
+
+
+def names_of_mask(mask: int) -> list[str]:
+    """Variable names of the set bits of ``mask`` in bit order."""
+    names = []
+    while mask:
+        low = mask & -mask
+        names.append(_VAR_NAMES[low.bit_length() - 1])
+        mask ^= low
+    return names

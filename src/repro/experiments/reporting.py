@@ -1,8 +1,11 @@
-"""Plain-text table rendering shared by all experiment modules."""
+"""Plain-text table rendering and machine-readable perf records shared by
+all experiment modules."""
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 
 def format_table(
@@ -36,3 +39,15 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def write_perf_record(path: str | Path, record: Mapping[str, object]) -> Path:
+    """Write a machine-readable perf record (JSON) for trajectory tracking.
+
+    The benchmark harness collects per-case timings into a nested dict and
+    persists them (``BENCH_PR<n>.json`` at the repo root) so later PRs can
+    compare against earlier kernels without re-running the old code.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False, default=str) + "\n")
+    return path

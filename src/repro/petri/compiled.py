@@ -1,0 +1,270 @@
+"""Bit-packed compiled kernel for safe Petri nets.
+
+This module is the machine-level core that every hot reachability path runs
+on.  A :class:`CompiledNet` freezes the structure of a
+:class:`~repro.petri.net.PetriNet` — the ``(P, T, F)`` part of the paper's
+``(P, T, F, m0)`` four-tuple (Section II-B) — into integer masks over an
+interned place order:
+
+``pre_masks[t]``
+    Bit ``i`` is set iff place ``i`` is an input place of transition ``t``
+    (the preset ``•t`` restricted to places).
+``post_masks[t]``
+    Bit ``i`` is set iff place ``i`` is an output place of ``t`` (``t•``).
+``deltas[t]``
+    ``pre_masks[t] ^ post_masks[t]`` — the places whose token count changes
+    when ``t`` fires (self-loop places, ``•t ∩ t•``, keep their token).
+
+A marking ``m`` of a *safe* net is then a plain ``int`` with bit ``i`` set
+iff place ``i`` is marked, and the token-flow semantics collapses to:
+
+``is_enabled(t, m)``  ==  ``m & pre_masks[t] == pre_masks[t]``
+``fire(t, m)``        ==  ``(m & ~pre_masks[t]) | post_masks[t]``
+
+(the reference semantics of ``PetriNet.is_enabled`` / ``PetriNet.fire`` for
+1-bounded markings).  Firing a transition whose output place is already
+marked would create a second token; the kernel detects this and raises
+:class:`UnsafeNetError`, at which point callers fall back to the dict-based
+reference path, so unsafe nets keep the exact multiset semantics.
+
+Reachability exploration additionally maintains the enabled set of each
+marking incrementally ("dirty-frontier"): when ``t`` fires, only transitions
+adjacent to the changed places (``consumer_masks`` over ``deltas[t]``) can
+change their enabled status, so the per-successor work is proportional to
+the local fan-out instead of ``|T|``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+class UnsafeNetError(RuntimeError):
+    """Raised when a marking cannot be represented as one bit per place.
+
+    Either the starting marking carries multiple tokens on a place (or tokens
+    on places unknown to the net), or exploration fired a transition into an
+    already-marked output place.  Callers catch this and fall back to the
+    dict-based reference semantics.
+    """
+
+
+class StateSpaceLimitExceeded(RuntimeError):
+    """Raised when reachability exploration exceeds the marking limit."""
+
+
+class CompiledNet:
+    """Bit-packed read-only view of a Petri net.
+
+    The compiled form is cached on the net keyed by its structural version,
+    so repeated analyses of the same net compile once (see
+    :func:`compile_net`).
+    """
+
+    __slots__ = (
+        "net",
+        "place_names",
+        "place_index",
+        "transition_names",
+        "transition_index",
+        "pre_masks",
+        "post_masks",
+        "deltas",
+        "_not_pre",
+        "_post_only",
+        "_affected",
+    )
+
+    def __init__(self, net: PetriNet):
+        self.net = net
+        self.place_names: list[str] = net.places
+        self.place_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.place_names)
+        }
+        self.transition_names: list[str] = net.transitions
+        self.transition_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.transition_names)
+        }
+        place_index = self.place_index
+        pre_masks: list[int] = []
+        post_masks: list[int] = []
+        for transition in self.transition_names:
+            pre = 0
+            for place in net.preset(transition):
+                pre |= 1 << place_index[place]
+            post = 0
+            for place in net.postset(transition):
+                post |= 1 << place_index[place]
+            pre_masks.append(pre)
+            post_masks.append(post)
+        self.pre_masks = pre_masks
+        self.post_masks = post_masks
+        self.deltas = [pre ^ post for pre, post in zip(pre_masks, post_masks)]
+        self._not_pre = [~pre for pre in pre_masks]
+        # Tokens may appear on an output place that is not consumed; if it is
+        # already marked the successor would be 2-bounded.
+        self._post_only = [post & ~pre for pre, post in zip(pre_masks, post_masks)]
+        # Dirty-frontier index: for each transition t, the transitions whose
+        # preset touches a place changed by firing t (the only ones whose
+        # enabled status can differ between m and fire(t, m)).
+        self._affected: list[list[int]] = []
+        for delta in self.deltas:
+            self._affected.append(
+                [u for u, pre in enumerate(pre_masks) if pre & delta]
+            )
+
+    # ------------------------------------------------------------------ #
+    # Marking conversion (API boundary)
+    # ------------------------------------------------------------------ #
+
+    def pack(self, marking: Marking) -> int:
+        """Pack a safe marking into an int (bit i == place i marked).
+
+        Raises
+        ------
+        UnsafeNetError
+            If the marking holds more than one token on a place or marks a
+            place the net does not know about.
+        """
+        bits = 0
+        place_index = self.place_index
+        for place, count in marking.items():
+            if count > 1:
+                raise UnsafeNetError(
+                    f"place {place!r} holds {count} tokens; markings of "
+                    "unsafe nets cannot be bit-packed"
+                )
+            index = place_index.get(place)
+            if index is None:
+                raise UnsafeNetError(f"marked place {place!r} is not part of the net")
+            bits |= 1 << index
+        return bits
+
+    def unpack(self, bits: int) -> Marking:
+        """Unpack an int marking back into a name-based :class:`Marking`."""
+        names = self.place_names
+        marked = []
+        while bits:
+            low = bits & -bits
+            marked.append(names[low.bit_length() - 1])
+            bits ^= low
+        return Marking.from_marked(marked)
+
+    # ------------------------------------------------------------------ #
+    # Token-flow semantics on int markings
+    # ------------------------------------------------------------------ #
+
+    def is_enabled(self, transition: int, marking: int) -> bool:
+        """True if every input place of transition index ``transition`` is marked."""
+        pre = self.pre_masks[transition]
+        return marking & pre == pre
+
+    def fire(self, transition: int, marking: int) -> int:
+        """Successor marking (assumes the transition is enabled and safe)."""
+        return (marking & self._not_pre[transition]) | self.post_masks[transition]
+
+    def enabled_mask(self, marking: int) -> int:
+        """Bitmask over transition indices of the enabled transitions."""
+        mask = 0
+        bit = 1
+        for pre in self.pre_masks:
+            if marking & pre == pre:
+                mask |= bit
+            bit <<= 1
+        return mask
+
+    def enabled_transitions(self, marking: int) -> list[int]:
+        """Enabled transition indices in index (= insertion) order."""
+        return [
+            t for t, pre in enumerate(self.pre_masks) if marking & pre == pre
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Reachability (BFS over int markings)
+    # ------------------------------------------------------------------ #
+
+    def explore(
+        self,
+        initial: int,
+        max_markings: Optional[int] = None,
+        want_edges: bool = False,
+    ) -> tuple[list[int], list[int], Optional[list[tuple[int, int, int]]]]:
+        """Breadth-first exploration from a packed initial marking.
+
+        Returns ``(markings, enabled, edges)`` where ``markings`` holds the
+        packed markings in discovery order (the same order as the reference
+        BFS over :class:`Marking` objects), ``enabled`` the enabled-transition
+        bitmask of each marking, and ``edges`` (if requested) the triples
+        ``(source_index, transition_index, target_index)`` in firing order.
+
+        Raises
+        ------
+        StateSpaceLimitExceeded
+            When more than ``max_markings`` markings are reachable.
+        UnsafeNetError
+            When a firing would place a second token on a place.
+        """
+        pre_masks = self.pre_masks
+        post_masks = self.post_masks
+        not_pre = self._not_pre
+        post_only = self._post_only
+        affected = self._affected
+        transition_names = self.transition_names
+
+        order = [initial]
+        index_of = {initial: 0}
+        enabled = [self.enabled_mask(initial)]
+        edges: Optional[list[tuple[int, int, int]]] = [] if want_edges else None
+        head = 0
+        while head < len(order):
+            marking = order[head]
+            source = head
+            pending = enabled[head]
+            head += 1
+            while pending:
+                low = pending & -pending
+                pending ^= low
+                transition = low.bit_length() - 1
+                if marking & post_only[transition]:
+                    raise UnsafeNetError(
+                        f"firing {transition_names[transition]!r} produces a "
+                        "second token; falling back to multiset semantics"
+                    )
+                successor = (marking & not_pre[transition]) | post_masks[transition]
+                target = index_of.get(successor)
+                if target is None:
+                    if max_markings is not None and len(order) >= max_markings:
+                        raise StateSpaceLimitExceeded(
+                            f"more than {max_markings} reachable markings"
+                        )
+                    successor_enabled = enabled[source]
+                    for u in affected[transition]:
+                        pre_u = pre_masks[u]
+                        if successor & pre_u == pre_u:
+                            successor_enabled |= 1 << u
+                        else:
+                            successor_enabled &= ~(1 << u)
+                    target = len(order)
+                    index_of[successor] = target
+                    order.append(successor)
+                    enabled.append(successor_enabled)
+                if edges is not None:
+                    edges.append((source, transition, target))
+        return order, enabled, edges
+
+
+def compile_net(net: PetriNet) -> CompiledNet:
+    """Compiled view of a net, cached on the net's structural version."""
+    version = getattr(net, "_version", None)
+    cached = getattr(net, "_compiled_cache", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    compiled = CompiledNet(net)
+    try:
+        net._compiled_cache = (version, compiled)
+    except AttributeError:
+        pass  # net-like object without attribute support; skip caching
+    return compiled

@@ -33,6 +33,18 @@ class Marking(Mapping[str, int]):
         self._tokens = cleaned
         self._hash: int | None = None
 
+    @classmethod
+    def from_marked(cls, places: Iterable[str]) -> "Marking":
+        """Fast constructor for a safe marking given its marked places.
+
+        Skips the validation loop of ``__init__``; used by the compiled
+        kernel when unpacking bit-packed markings at the API boundary.
+        """
+        self = cls.__new__(cls)
+        self._tokens = {place: 1 for place in places}
+        self._hash = None
+        return self
+
     # ------------------------------------------------------------------ #
     # Mapping protocol
     # ------------------------------------------------------------------ #

@@ -52,6 +52,12 @@ class PetriNet:
         self._pre: dict[str, set[str]] = {}
         self._post: dict[str, set[str]] = {}
         self._initial_tokens: dict[str, int] = {}
+        # memoised frozenset views of presets/postsets (invalidated on
+        # structural mutation) and the structural version counter keyed on by
+        # the compiled-kernel cache (repro.petri.compiled.compile_net)
+        self._preset_cache: dict[str, frozenset[str]] = {}
+        self._postset_cache: dict[str, frozenset[str]] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -67,6 +73,7 @@ class PetriNet:
             self._places[name] = place
             self._pre.setdefault(name, set())
             self._post.setdefault(name, set())
+            self._version += 1
         if tokens:
             self._initial_tokens[name] = self._initial_tokens.get(name, 0) + tokens
         return place
@@ -81,6 +88,7 @@ class PetriNet:
             self._transitions[name] = transition
             self._pre.setdefault(name, set())
             self._post.setdefault(name, set())
+            self._version += 1
         return transition
 
     def add_arc(self, source: str, target: str) -> None:
@@ -97,6 +105,9 @@ class PetriNet:
             )
         self._post[source].add(target)
         self._pre[target].add(source)
+        self._postset_cache.pop(source, None)
+        self._preset_cache.pop(target, None)
+        self._version += 1
 
     def set_initial_tokens(self, place: str, tokens: int) -> None:
         """Set the number of initial tokens of a place."""
@@ -119,6 +130,9 @@ class PetriNet:
             self._post[predecessor].discard(name)
         del self._places[name]
         self._initial_tokens.pop(name, None)
+        self._preset_cache.clear()
+        self._postset_cache.clear()
+        self._version += 1
 
     def remove_transition(self, name: str) -> None:
         """Remove a transition and all its arcs."""
@@ -129,6 +143,9 @@ class PetriNet:
         for predecessor in self._pre.pop(name, set()):
             self._post[predecessor].discard(name)
         del self._transitions[name]
+        self._preset_cache.clear()
+        self._postset_cache.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Structure queries
@@ -162,12 +179,20 @@ class PetriNet:
         return name in self._places or name in self._transitions
 
     def preset(self, node: str) -> frozenset[str]:
-        """The preset (input nodes) of a node."""
-        return frozenset(self._pre[node])
+        """The preset (input nodes) of a node (memoised)."""
+        cached = self._preset_cache.get(node)
+        if cached is None:
+            cached = frozenset(self._pre[node])
+            self._preset_cache[node] = cached
+        return cached
 
     def postset(self, node: str) -> frozenset[str]:
-        """The postset (output nodes) of a node."""
-        return frozenset(self._post[node])
+        """The postset (output nodes) of a node (memoised)."""
+        cached = self._postset_cache.get(node)
+        if cached is None:
+            cached = frozenset(self._post[node])
+            self._postset_cache[node] = cached
+        return cached
 
     def arcs(self) -> Iterator[tuple[str, str]]:
         """Iterate over all flow arcs as (source, target) pairs."""

@@ -4,23 +4,50 @@ This is the state-based substrate that structural methods avoid; it is needed
 here both as the correctness oracle for the structural algorithms (on small
 and medium STGs) and as the baseline synthesis engine used for the CPU-time
 comparisons of Tables VI and VII.
+
+The exploration itself runs on the bit-packed compiled kernel
+(:mod:`repro.petri.compiled`): markings are plain ints during BFS and are
+converted back to :class:`~repro.petri.marking.Marking` objects only at the
+API boundary.  Nets that are not safe (or markings that cannot be packed)
+transparently fall back to the dict-based reference implementation, which is
+also kept as the oracle for the kernel's differential tests.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
+from repro.petri.compiled import (
+    CompiledNet,
+    StateSpaceLimitExceeded,
+    UnsafeNetError,
+    compile_net,
+)
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
+
+__all__ = [
+    "ReachabilityGraph",
+    "StateSpaceLimitExceeded",
+    "build_reachability_graph",
+    "count_reachable_markings",
+    "random_walk",
+    "concurrent_pairs_from_rg",
+    "marking_sets_of_places",
+]
 
 
 class ReachabilityGraph:
     """The reachability graph (RG) of a Petri net.
 
     Vertices are :class:`~repro.petri.marking.Marking` objects; edges are
-    labelled with the fired transition.
+    labelled with the fired transition.  Graphs produced by the compiled
+    kernel additionally carry the packed form of every vertex, which the
+    bulk queries (:func:`concurrent_pairs_from_rg`,
+    :func:`marking_sets_of_places`) use to stay on int markings.
     """
 
     def __init__(self, net: PetriNet, initial: Marking):
@@ -28,6 +55,11 @@ class ReachabilityGraph:
         self.initial = initial
         self._successors: dict[Marking, list[tuple[str, Marking]]] = {}
         self._predecessors: dict[Marking, list[tuple[str, Marking]]] = {}
+        # Packed payload (populated by the compiled builder only).
+        self._compiled: Optional[CompiledNet] = None
+        self._packed: Optional[list[int]] = None
+        self._packed_enabled: Optional[list[int]] = None
+        self._marking_list: Optional[list[Marking]] = None
 
     # ------------------------------------------------------------------ #
     # Construction (used by the builder)
@@ -137,16 +169,17 @@ class ReachabilityGraph:
         return seen
 
 
-class StateSpaceLimitExceeded(RuntimeError):
-    """Raised when reachability exploration exceeds the marking limit."""
-
-
 def build_reachability_graph(
     net: PetriNet,
     initial: Optional[Marking] = None,
     max_markings: Optional[int] = None,
 ) -> ReachabilityGraph:
     """Breadth-first exhaustive exploration of the reachable markings.
+
+    Runs on the bit-packed kernel (markings are ints during the BFS) and
+    falls back to the dict-based reference exploration when the net is not
+    safe.  Both paths produce identical graphs for safe nets — the
+    differential tests in ``tests/test_compiled_kernel.py`` enforce this.
 
     Parameters
     ----------
@@ -160,22 +193,34 @@ def build_reachability_graph(
         the state-explosion of the baseline.
     """
     start = initial if initial is not None else net.initial_marking
+    compiled = compile_net(net)
+    try:
+        packed_start = compiled.pack(start)
+        order, enabled, edges = compiled.explore(
+            packed_start, max_markings=max_markings, want_edges=True
+        )
+    except UnsafeNetError:
+        return _reference_build_reachability_graph(net, start, max_markings)
     graph = ReachabilityGraph(net, start)
-    graph._add_marking(start)
-    frontier: deque[Marking] = deque([start])
-    seen: set[Marking] = {start}
-    while frontier:
-        current = frontier.popleft()
-        for transition in net.enabled_transitions(current):
-            target = net.fire(transition, current)
-            if target not in seen:
-                if max_markings is not None and len(seen) >= max_markings:
-                    raise StateSpaceLimitExceeded(
-                        f"more than {max_markings} reachable markings"
-                    )
-                seen.add(target)
-                frontier.append(target)
-            graph._add_edge(current, transition, target)
+    unpack = compiled.unpack
+    markings = [start]
+    markings.extend(unpack(bits) for bits in order[1:])
+    successors = graph._successors
+    predecessors = graph._predecessors
+    for marking in markings:
+        successors[marking] = []
+        predecessors[marking] = []
+    transition_names = compiled.transition_names
+    for source, transition, target in edges:
+        label = transition_names[transition]
+        source_marking = markings[source]
+        target_marking = markings[target]
+        successors[source_marking].append((label, target_marking))
+        predecessors[target_marking].append((label, source_marking))
+    graph._compiled = compiled
+    graph._packed = order
+    graph._packed_enabled = enabled
+    graph._marking_list = markings
     return graph
 
 
@@ -186,20 +231,13 @@ def count_reachable_markings(
 ) -> int:
     """Count reachable markings without storing the edges."""
     start = initial if initial is not None else net.initial_marking
-    frontier: deque[Marking] = deque([start])
-    seen: set[Marking] = {start}
-    while frontier:
-        current = frontier.popleft()
-        for transition in net.enabled_transitions(current):
-            target = net.fire(transition, current)
-            if target not in seen:
-                if max_markings is not None and len(seen) >= max_markings:
-                    raise StateSpaceLimitExceeded(
-                        f"more than {max_markings} reachable markings"
-                    )
-                seen.add(target)
-                frontier.append(target)
-    return len(seen)
+    compiled = compile_net(net)
+    try:
+        packed_start = compiled.pack(start)
+        order, _, _ = compiled.explore(packed_start, max_markings=max_markings)
+    except UnsafeNetError:
+        return _reference_count_reachable_markings(net, start, max_markings)
+    return len(order)
 
 
 def random_walk(
@@ -213,8 +251,6 @@ def random_walk(
     Used by property-based tests and by the hazard simulator to exercise
     arbitrary interleavings without building the full reachability graph.
     """
-    import random
-
     rng = random.Random(seed)
     current = initial if initial is not None else net.initial_marking
     sequence: list[str] = []
@@ -235,6 +271,120 @@ def concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
     firing one does not disable the other (Section II-B).  This is the oracle
     against which the structural concurrency relation is validated.
     """
+    compiled = graph._compiled
+    if compiled is None or graph._packed is None or graph._packed_enabled is None:
+        return _reference_concurrent_pairs_from_rg(graph)
+    pre_masks = compiled.pre_masks
+    post_masks = compiled.post_masks
+    not_pre = compiled._not_pre
+    confirmed: set[tuple[int, int]] = set()
+    for marking, enabled in zip(graph._packed, graph._packed_enabled):
+        if enabled & (enabled - 1) == 0:
+            continue  # fewer than two enabled transitions
+        transitions = []
+        pending = enabled
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            transitions.append(low.bit_length() - 1)
+        for i, first in enumerate(transitions):
+            after_first = (marking & not_pre[first]) | post_masks[first]
+            for second in transitions[i + 1:]:
+                if (first, second) in confirmed:
+                    continue
+                pre_second = pre_masks[second]
+                if after_first & pre_second != pre_second:
+                    continue
+                after_second = (marking & not_pre[second]) | post_masks[second]
+                pre_first = pre_masks[first]
+                if after_second & pre_first == pre_first:
+                    confirmed.add((first, second))
+    names = compiled.transition_names
+    return {frozenset((names[a], names[b])) for a, b in confirmed}
+
+
+def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> dict[str, set[Marking]]:
+    """For every place, the set of reachable markings in which it is marked.
+
+    This is the exact *marked region* MR(p) (Definition 6) computed from the
+    reachability graph — the oracle for the structural cover-cube tests.
+    """
+    compiled = graph._compiled
+    if compiled is None or graph._packed is None or graph._marking_list is None:
+        return _reference_marking_sets_of_places(graph, places)
+    result: dict[str, set[Marking]] = {place: set() for place in places}
+    packed = graph._packed
+    marking_list = graph._marking_list
+    for place, bucket in result.items():
+        index = compiled.place_index.get(place)
+        if index is None:
+            continue
+        bit = 1 << index
+        for bits, marking in zip(packed, marking_list):
+            if bits & bit:
+                bucket.add(marking)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Dict-based reference implementations
+#
+# These are the original Marking-object paths.  They serve two purposes:
+# the automatic fallback for nets the kernel cannot pack (non-safe nets,
+# markings on unknown places), and the oracle side of the differential
+# tests that pin the compiled kernel to the reference semantics.
+# ---------------------------------------------------------------------- #
+
+
+def _reference_build_reachability_graph(
+    net: PetriNet,
+    start: Marking,
+    max_markings: Optional[int] = None,
+) -> ReachabilityGraph:
+    """Reference BFS over :class:`Marking` objects (multiset semantics)."""
+    graph = ReachabilityGraph(net, start)
+    graph._add_marking(start)
+    frontier: deque[Marking] = deque([start])
+    seen: set[Marking] = {start}
+    while frontier:
+        current = frontier.popleft()
+        for transition in net.enabled_transitions(current):
+            target = net.fire(transition, current)
+            if target not in seen:
+                if max_markings is not None and len(seen) >= max_markings:
+                    raise StateSpaceLimitExceeded(
+                        f"more than {max_markings} reachable markings"
+                    )
+                seen.add(target)
+                frontier.append(target)
+            graph._add_edge(current, transition, target)
+    return graph
+
+
+def _reference_count_reachable_markings(
+    net: PetriNet,
+    start: Marking,
+    max_markings: Optional[int] = None,
+) -> int:
+    """Reference marking count over :class:`Marking` objects."""
+    frontier: deque[Marking] = deque([start])
+    seen: set[Marking] = {start}
+    while frontier:
+        current = frontier.popleft()
+        for transition in net.enabled_transitions(current):
+            target = net.fire(transition, current)
+            if target not in seen:
+                if max_markings is not None and len(seen) >= max_markings:
+                    raise StateSpaceLimitExceeded(
+                        f"more than {max_markings} reachable markings"
+                    )
+                seen.add(target)
+                frontier.append(target)
+    return len(seen)
+
+
+def _reference_concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
+    """Reference concurrency extraction over :class:`Marking` objects."""
     net = graph.net
     pairs: set[frozenset[str]] = set()
     for marking in graph:
@@ -250,12 +400,10 @@ def concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
     return pairs
 
 
-def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> dict[str, set[Marking]]:
-    """For every place, the set of reachable markings in which it is marked.
-
-    This is the exact *marked region* MR(p) (Definition 6) computed from the
-    reachability graph — the oracle for the structural cover-cube tests.
-    """
+def _reference_marking_sets_of_places(
+    graph: ReachabilityGraph, places: Iterable[str]
+) -> dict[str, set[Marking]]:
+    """Reference marked-region extraction over :class:`Marking` objects."""
     result: dict[str, set[Marking]] = {place: set() for place in places}
     for marking in graph:
         for place in marking.marked_places:

@@ -48,6 +48,24 @@ class SignalRegionApproximation:
     initial_values: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
+    # Region-cover memoisation
+    #
+    # The synthesis engine asks for the same ER/QR/GER/GQR covers many times
+    # per signal (per-region expansion, merged covers, monotonicity checks).
+    # All of them are pure functions of the fields, so they are memoised and
+    # the cache is dropped whenever a field they depend on is reassigned
+    # (the engine replaces ``cover_functions`` after refinement).
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("cover_functions", "qps", "bps", "next_relation", "stg"):
+            self.__dict__.pop("_region_cache", None)
+        object.__setattr__(self, name, value)
+
+    def _cache(self) -> dict:
+        return self.__dict__.setdefault("_region_cache", {})
+
+    # ------------------------------------------------------------------ #
     # Covers of individual regions
     # ------------------------------------------------------------------ #
 
@@ -76,6 +94,16 @@ class SignalRegionApproximation:
         transition (the marked regions whose simultaneous marking enables
         it), anchored with the signal's pre-firing value.
         """
+        cache = self._cache()
+        key = ("er", transition)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._er_cover_uncached(transition)
+        cache[key] = result
+        return result
+
+    def _er_cover_uncached(self, transition: str) -> Cover:
         preset = sorted(self.stg.net.preset(transition))
         if not preset:
             return Cover.universe(self.stg.signal_names)
@@ -96,6 +124,16 @@ class SignalRegionApproximation:
         ``restricted=True`` the places shared with the QPS of other
         transitions of the signal are excluded (equation (4) domain).
         """
+        cache = self._cache()
+        key = ("qr", transition, restricted)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._qr_cover_uncached(transition, restricted)
+        cache[key] = result
+        return result
+
+    def _qr_cover_uncached(self, transition: str, restricted: bool) -> Cover:
         signal = self.stg.signal_of(transition)
         places = set(self.qps.get(transition, set()))
         if restricted:
@@ -128,6 +166,16 @@ class SignalRegionApproximation:
 
     def br_cover(self, transition: str) -> Cover:
         """Cover of the backward quiescent region BR(t) (Appendix E)."""
+        cache = self._cache()
+        key = ("br", transition)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._br_cover_uncached(transition)
+        cache[key] = result
+        return result
+
+    def _br_cover_uncached(self, transition: str) -> Cover:
         places = set(self.bps.get(transition, set()))
         predecessors = {
             prev for prev, nexts in self.next_relation.items()
@@ -156,18 +204,28 @@ class SignalRegionApproximation:
 
     def ger_cover(self, signal: str, direction: str) -> Cover:
         """Cover of the generalized excitation region GER(signal direction)."""
-        result = Cover.empty(self.stg.signal_names)
-        for transition in self.stg.transitions_by_direction(signal, direction):
-            result = result.union(self.er_cover(transition))
-        return result
+        cache = self._cache()
+        key = ("ger", signal, direction)
+        cached = cache.get(key)
+        if cached is None:
+            cached = Cover.empty(self.stg.signal_names)
+            for transition in self.stg.transitions_by_direction(signal, direction):
+                cached = cached.union(self.er_cover(transition))
+            cache[key] = cached
+        return cached
 
     def gqr_cover(self, signal: str, value: int, restricted: bool = False) -> Cover:
         """Cover of the generalized quiescent region GQR(signal = value)."""
-        direction = "+" if value == 1 else "-"
-        result = Cover.empty(self.stg.signal_names)
-        for transition in self.stg.transitions_by_direction(signal, direction):
-            result = result.union(self.qr_cover(transition, restricted=restricted))
-        return result
+        cache = self._cache()
+        key = ("gqr", signal, value, restricted)
+        cached = cache.get(key)
+        if cached is None:
+            direction = "+" if value == 1 else "-"
+            cached = Cover.empty(self.stg.signal_names)
+            for transition in self.stg.transitions_by_direction(signal, direction):
+                cached = cached.union(self.qr_cover(transition, restricted=restricted))
+            cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Sets used by the synthesis correctness checks (Section VIII-B)

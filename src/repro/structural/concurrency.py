@@ -21,6 +21,11 @@ polynomial fixed-point algorithm in the style of Kovalyov and Esparza
 For non-free-choice nets the result is a conservative over-approximation,
 which is the safe direction for the synthesis method.
 
+The relation is stored as one bitset row (a plain ``int``) per node over an
+interned node order, so both the fixed point's inner check ("concurrent with
+every input place of ``t``") and the symmetric insertions are single integer
+operations; the name-based accessors decode at the API boundary.
+
 The *signal concurrency relation* SCR relates a node to a signal when it is
 concurrent with some transition of that signal (Definition 3).
 """
@@ -38,8 +43,15 @@ class ConcurrencyRelation:
 
     def __init__(self, stg: STG):
         self.stg = stg
-        self._concurrent: dict[str, set[str]] = {node: set() for node in stg.net.nodes}
-        self._signal_cache: dict[tuple[str, str], bool] = {}
+        net = stg.net
+        self._names: list[str] = net.nodes  # places first, then transitions
+        self._num_places = net.num_places()
+        self._index: dict[str, int] = {
+            name: i for i, name in enumerate(self._names)
+        }
+        self._rows: list[int] = [0] * len(self._names)
+        # signal -> bitmask over node indices of the signal's transitions
+        self._signal_masks: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Construction (used by the computation function)
@@ -47,12 +59,19 @@ class ConcurrencyRelation:
 
     def _add(self, first: str, second: str) -> bool:
         """Add a symmetric pair; returns True if it was new."""
-        if first == second:
+        i = self._index[first]
+        j = self._index[second]
+        return self._add_indices(i, j)
+
+    def _add_indices(self, i: int, j: int) -> bool:
+        """Index-based :meth:`_add` (used by the bitset fixed point)."""
+        if i == j:
             return False
-        if second in self._concurrent[first]:
+        rows = self._rows
+        if rows[i] >> j & 1:
             return False
-        self._concurrent[first].add(second)
-        self._concurrent[second].add(first)
+        rows[i] |= 1 << j
+        rows[j] |= 1 << i
         return True
 
     # ------------------------------------------------------------------ #
@@ -61,41 +80,68 @@ class ConcurrencyRelation:
 
     def are_concurrent(self, first: str, second: str) -> bool:
         """True if the two nodes are (conservatively) concurrent."""
-        return second in self._concurrent.get(first, ())
+        i = self._index.get(first)
+        j = self._index.get(second)
+        if i is None or j is None:
+            return False
+        return bool(self._rows[i] >> j & 1)
+
+    def _row_names(self, row: int) -> list[str]:
+        names = self._names
+        result = []
+        while row:
+            low = row & -row
+            result.append(names[low.bit_length() - 1])
+            row ^= low
+        return result
 
     def concurrent_nodes(self, node: str) -> frozenset[str]:
         """All nodes concurrent with ``node``."""
-        return frozenset(self._concurrent.get(node, ()))
+        index = self._index.get(node)
+        if index is None:
+            return frozenset()
+        return frozenset(self._row_names(self._rows[index]))
 
     def concurrent_places(self, node: str) -> frozenset[str]:
         """Places concurrent with ``node``."""
-        return frozenset(
-            other for other in self._concurrent.get(node, ())
-            if self.stg.net.is_place(other)
-        )
+        index = self._index.get(node)
+        if index is None:
+            return frozenset()
+        place_mask = (1 << self._num_places) - 1
+        return frozenset(self._row_names(self._rows[index] & place_mask))
 
     def concurrent_transitions(self, node: str) -> frozenset[str]:
         """Transitions concurrent with ``node``."""
-        return frozenset(
-            other for other in self._concurrent.get(node, ())
-            if self.stg.net.is_transition(other)
-        )
+        index = self._index.get(node)
+        if index is None:
+            return frozenset()
+        place_mask = (1 << self._num_places) - 1
+        return frozenset(self._row_names(self._rows[index] & ~place_mask))
+
+    def _signal_mask(self, signal: str) -> int:
+        """Bitmask of the node indices of a signal's transitions (memoised)."""
+        mask = self._signal_masks.get(signal)
+        if mask is None:
+            mask = 0
+            lookup = self._index.get
+            for transition in self.stg.transitions_of_signal(signal):
+                j = lookup(transition)
+                if j is not None:
+                    mask |= 1 << j
+            self._signal_masks[signal] = mask
+        return mask
 
     def node_concurrent_with_signal(self, node: str, signal: str) -> bool:
         """Signal concurrency relation SCR (Definition 3).
 
-        True when the node is concurrent with some transition of ``signal``.
+        True when the node is concurrent with some transition of ``signal``
+        — one intersection of the node's bitset row with the signal's
+        transition mask.
         """
-        key = (node, signal)
-        cached = self._signal_cache.get(key)
-        if cached is not None:
-            return cached
-        result = any(
-            self.are_concurrent(node, transition)
-            for transition in self.stg.transitions_of_signal(signal)
-        )
-        self._signal_cache[key] = result
-        return result
+        index = self._index.get(node)
+        if index is None:
+            return False
+        return bool(self._rows[index] & self._signal_mask(signal))
 
     def signals_concurrent_with(self, node: str) -> set[str]:
         """All signals concurrent with a node."""
@@ -107,18 +153,29 @@ class ConcurrencyRelation:
     def pairs(self) -> set[frozenset[str]]:
         """All concurrent pairs as frozensets."""
         result: set[frozenset[str]] = set()
-        for node, others in self._concurrent.items():
-            for other in others:
-                result.add(frozenset((node, other)))
+        names = self._names
+        for i, row in enumerate(self._rows):
+            row >>= i + 1  # emit each symmetric pair once
+            base = i + 1
+            while row:
+                low = row & -row
+                result.add(frozenset((names[i], names[base + low.bit_length() - 1])))
+                row ^= low
         return result
 
     def transition_pairs(self) -> set[frozenset[str]]:
         """Concurrent transition-transition pairs only."""
-        net = self.stg.net
-        return {
-            pair for pair in self.pairs()
-            if all(net.is_transition(node) for node in pair)
-        }
+        result: set[frozenset[str]] = set()
+        names = self._names
+        num_places = self._num_places
+        for i in range(num_places, len(names)):
+            row = self._rows[i] >> (i + 1)
+            base = i + 1
+            while row:
+                low = row & -row
+                result.add(frozenset((names[i], names[base + low.bit_length() - 1])))
+                row ^= low
+        return result
 
     def place_table(self) -> dict[str, dict[str, bool]]:
         """Place-versus-place concurrency table (Table II of the paper)."""
@@ -137,59 +194,93 @@ def compute_concurrency_relation(
 
     Complexity is polynomial in the size of the net: every pair of nodes is
     inserted at most once and each insertion triggers work proportional to
-    the adjacent transitions.
+    the adjacent transitions.  The fixed point runs entirely on node indices
+    and bitset rows; names only appear in the seed extraction and in the
+    returned relation's accessors.
     """
     net = stg.net
     relation = ConcurrencyRelation(stg)
-    worklist: deque[tuple[str, str]] = deque()
+    index = relation._index
+    rows = relation._rows
+    num_places = relation._num_places
+    worklist: deque[tuple[int, int]] = deque()
 
-    def add(first: str, second: str) -> None:
-        if relation._add(first, second):
-            worklist.append((first, second))
+    append = worklist.append
+
+    def add(i: int, j: int) -> None:
+        if i != j and not rows[i] >> j & 1:
+            rows[i] |= 1 << j
+            rows[j] |= 1 << i
+            append((i, j))
+
+    # Per-transition masks over the node-index space, and per-place consumer
+    # lists, precomputed once (as index-addressed arrays) so the fixed point
+    # never touches name sets or hashes.
+    num_nodes = len(relation._names)
+    transition_indices = [index[t] for t in net.transitions]
+    pre_mask: list[int] = [0] * num_nodes
+    adjacent_mask: list[int] = [0] * num_nodes
+    post_places: list[list[int]] = [[] for _ in range(num_nodes)]
+    consumers: list[list[int]] = [[] for _ in range(num_places)]
+    for transition, t_index in zip(net.transitions, transition_indices):
+        pre = 0
+        for place in net.preset(transition):
+            p_index = index[place]
+            pre |= 1 << p_index
+            consumers[p_index].append(t_index)
+        post = 0
+        outputs = []
+        for place in net.postset(transition):
+            p_index = index[place]
+            post |= 1 << p_index
+            outputs.append(p_index)
+        pre_mask[t_index] = pre
+        adjacent_mask[t_index] = pre | post
+        post_places[t_index] = outputs
 
     # Seed: places simultaneously marked initially.
     marked = sorted(net.initial_marking.marked_places)
-    for i, first in enumerate(marked):
-        for second in marked[i + 1:]:
+    marked_indices = [index[p] for p in marked if p in index]
+    for i, first in enumerate(marked_indices):
+        for second in marked_indices[i + 1:]:
             add(first, second)
     # Seed: output places of the same transition are simultaneously marked
     # right after it fires.
-    for transition in net.transitions:
-        outputs = sorted(net.postset(transition))
+    for t_index in transition_indices:
+        outputs = sorted(post_places[t_index])
         for i, first in enumerate(outputs):
             for second in outputs[i + 1:]:
                 add(first, second)
 
-    def try_transition(node: str, transition: str) -> None:
-        """Apply the inference rule for ``node`` against ``transition``."""
-        if node == transition:
-            return
-        preset = net.preset(transition)
-        if node in preset or node in net.postset(transition):
-            return
-        if not preset:
-            return
-        if all(relation.are_concurrent(node, place) for place in preset):
-            add(node, transition)
-            for output in net.postset(transition):
-                add(node, output)
-
-    # Initial sweep: nodes concurrent with the initial marking versus the
-    # transitions enabled by it are discovered through the worklist; we also
-    # need to handle transitions with a single input place that is part of a
-    # seeded pair, which the worklist propagation below covers.
+    # Propagation: when ``node`` becomes concurrent with a place, only the
+    # transitions consuming that place can newly satisfy the inference rule
+    # ("node concurrent with every input place of t").  The rule body is
+    # inlined: it runs once per (pair, adjacent transition) and dominates the
+    # fixed point on densely concurrent nets.
+    popleft = worklist.popleft
     iterations = 0
     while worklist:
         iterations += 1
         if max_iterations is not None and iterations > max_iterations:
             raise RuntimeError("concurrency fixed point did not converge in time")
-        first, second = worklist.popleft()
+        first, second = popleft()
         for node, other in ((first, second), (second, first)):
-            if net.is_place(other):
-                # ``node`` became concurrent with place ``other``; check the
-                # transitions consuming ``other``.
-                for transition in net.postset(other):
-                    try_transition(node, transition)
+            if other >= num_places:
+                continue
+            for t_index in consumers[other]:
+                if node == t_index or adjacent_mask[t_index] >> node & 1:
+                    continue
+                pre = pre_mask[t_index]
+                if pre and rows[node] & pre == pre:
+                    if not rows[node] >> t_index & 1:
+                        rows[node] |= 1 << t_index
+                        rows[t_index] |= 1 << node
+                        append((node, t_index))
+                    for output in post_places[t_index]:
+                        if output != node and not rows[node] >> output & 1:
+                            rows[node] |= 1 << output
+                            rows[output] |= 1 << node
+                            append((node, output))
     return relation
 
 
