@@ -7,8 +7,10 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR1.json`` at the repo root when the session ends —
-the machine-readable perf trajectory consumed by later PRs.
+is persisted as ``BENCH_PR2.json`` at the repo root when the session ends —
+the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
+recorded the bit-packed kernel; PR2 adds the cached-pipeline sweep of the
+unified API).
 """
 
 from __future__ import annotations
@@ -53,15 +55,23 @@ def print_table():
 
 #: results keys every full benchmark session produces; the record is only
 #: persisted when all of them are present.
-_REQUIRED_SECTIONS = ("table6", "table7", "count_reachable_markings_s")
+_REQUIRED_SECTIONS = (
+    "table6",
+    "table7",
+    "count_reachable_markings_s",
+    "fig13_pipeline",
+)
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR1.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR2.json on teardown."""
     record: dict = {
-        "pr": 1,
-        "kernel": "bit-packed compiled kernel (markings/cubes/reachability)",
+        "pr": 2,
+        "kernel": (
+            "unified repro.api pipeline (staged caching, pluggable backends) "
+            "on the bit-packed compiled kernel"
+        ),
         "seed_baseline": SEED_BASELINE,
         "results": {},
     }
@@ -98,5 +108,8 @@ def perf_record(request):
         baseline = SEED_BASELINE["count_reachable_markings_s"].get(name)
         if baseline and seconds > 0:
             speedups[f"count_reachable_markings:{name}"] = round(baseline / seconds, 2)
+    pipeline = record["results"].get("fig13_pipeline", {})
+    if pipeline.get("speedup"):
+        speedups["fig13_sweep_cached_pipeline"] = pipeline["speedup"]
     record["speedup_vs_seed"] = speedups
-    write_perf_record(repo_root / "BENCH_PR1.json", record)
+    write_perf_record(repo_root / "BENCH_PR2.json", record)

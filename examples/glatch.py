@@ -3,7 +3,8 @@
 This example shows why the structural method scales: the STG of an n-input
 C-latch closed through inverters has 2n+2-ish nodes but an exponential number
 of markings, yet the cover-cube approximations of the excitation regions are
-exact and the circuit falls out directly.
+exact and the circuit falls out directly.  The analysis artifacts come from
+the staged pipeline of :mod:`repro.api`.
 
 Run with:  python examples/glatch.py [inputs]
 """
@@ -12,22 +13,23 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import Pipeline, Spec, SynthesisOptions
 from repro.benchmarks.figures import fig7_glatch_stg
 from repro.petri.reachability import count_reachable_markings
-from repro.structural.approximation import approximate_signal_regions
 from repro.structural.covercube import cover_cube_table
-from repro.synthesis import SynthesisOptions, synthesize
-from repro.verify import verify_speed_independence
 
 
 def main(inputs: int = 3) -> None:
-    stg = fig7_glatch_stg(inputs)
+    spec = Spec.from_stg(fig7_glatch_stg(inputs), name=f"glatch_{inputs}")
+    stg = spec.stg
     print(stg.describe())
     markings = count_reachable_markings(stg.net)
     print(f"reachable markings: {markings}  (places: {stg.net.num_places()})")
     print()
 
-    approximation = approximate_signal_regions(stg)
+    pipeline = Pipeline()
+    analysis = pipeline.analyze(spec)
+    approximation = analysis.approximation
     print("cover cubes of the marked regions (signal order:", stg.signal_names, ")")
     for place, cube in sorted(cover_cube_table(stg, approximation.place_cubes).items()):
         print(f"  {place:12s} {cube}")
@@ -35,10 +37,8 @@ def main(inputs: int = 3) -> None:
     print("excitation-region cover of y+:", approximation.er_cover("y+").to_expression())
     print()
 
-    result = synthesize(stg, SynthesisOptions(level=5))
-    print(result.circuit.describe())
-    report = verify_speed_independence(stg, result.circuit)
-    print("speed independent:", report.speed_independent)
+    report = pipeline.run(spec, SynthesisOptions(level=5), verify=True)
+    print(report.describe())
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 
 The shared-fork places make the net non-free-choice, the class the paper
 handles through SM-covers (Table VII).  The example synthesizes the eating
-controllers structurally, verifies them, and prints the per-signal logic.
+controllers through the unified API (the ``analyze`` artifact exposes the
+SM-cover statistics), verifies them, and prints the per-signal logic.
 
 Run with:  python examples/philosophers.py [philosophers]
 """
@@ -11,28 +12,30 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import Pipeline, Spec, SynthesisOptions
 from repro.benchmarks.scalable import dining_philosophers
 from repro.petri.properties import is_free_choice
-from repro.petri.smcover import compute_sm_components, compute_sm_cover
-from repro.synthesis import SynthesisOptions, synthesize
-from repro.verify import verify_speed_independence
 
 
 def main(philosophers: int = 3) -> None:
-    stg = dining_philosophers(philosophers)
-    print(stg.describe())
-    print("free choice:", is_free_choice(stg.net))
+    spec = Spec.from_stg(
+        dining_philosophers(philosophers), name=f"philosophers_{philosophers}"
+    )
+    print(spec.stg.describe())
+    print("free choice:", is_free_choice(spec.stg.net))
 
-    components = compute_sm_components(stg.net)
-    cover = compute_sm_cover(stg.net, components)
-    print(f"SM-components found: {len(components)}; SM-cover size: {len(cover)}")
+    pipeline = Pipeline()
+    options = SynthesisOptions(level=5, assume_csc=True)
+    analysis = pipeline.analyze(spec, options)
+    print(
+        f"SM-components found: {analysis.sm_components}; "
+        f"SM-cover size: {analysis.sm_cover_size}"
+    )
     print()
 
-    result = synthesize(stg, SynthesisOptions(level=5, assume_csc=True))
-    print(result.circuit.describe())
-    if len(stg.net.places) <= 60:
-        report = verify_speed_independence(stg, result.circuit)
-        print("speed independent:", report.speed_independent)
+    verify = spec.stg.net.num_places() <= 60
+    report = pipeline.run(spec, options, verify=verify)
+    print(report.describe())
 
 
 if __name__ == "__main__":

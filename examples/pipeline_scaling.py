@@ -1,22 +1,20 @@
 """Scaling study: structural vs. state-based synthesis of Muller pipelines.
 
-Reproduces the spirit of Tables VI/VII on one family: the state-based
-baseline enumerates the reachability graph (exponential in the pipeline
-depth) while the structural flow stays polynomial.  The baseline is skipped
-once the state space passes the enumeration limit.
+Reproduces the spirit of Tables VI/VII on one family through the unified
+API: both backends run through the same :class:`repro.api.Pipeline`, the
+state-based baseline enumerates the reachability graph (exponential in the
+pipeline depth) while the structural flow stays polynomial.  The baseline is
+skipped once the state space passes the enumeration limit.
 
 Run with:  python examples/pipeline_scaling.py
 """
 
 from __future__ import annotations
 
-import time
-
+from repro.api import Pipeline, Spec, SynthesisOptions
 from repro.benchmarks.scalable import muller_pipeline
 from repro.experiments.reporting import format_table
 from repro.petri.reachability import StateSpaceLimitExceeded
-from repro.statebased.synthesis import synthesize_state_based
-from repro.synthesis import SynthesisOptions, synthesize
 
 STAGES = (2, 4, 8, 16, 24)
 BASELINE_LIMIT = 30_000
@@ -25,27 +23,30 @@ BASELINE_LIMIT = 30_000
 def main() -> None:
     rows = []
     for stages in STAGES:
-        stg = muller_pipeline(stages)
-        start = time.perf_counter()
-        structural = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
-        structural_seconds = time.perf_counter() - start
+        spec = Spec.from_stg(muller_pipeline(stages), name=f"muller_pipeline_{stages}")
+        pipeline = Pipeline()
+        structural = pipeline.run(spec, SynthesisOptions(level=3, assume_csc=True))
 
-        start = time.perf_counter()
         try:
-            baseline = synthesize_state_based(stg, max_markings=BASELINE_LIMIT)
-            baseline_seconds = f"{time.perf_counter() - start:.3f}"
-            markings = baseline.statistics["markings"]
+            baseline = pipeline.run(
+                spec,
+                SynthesisOptions(level=3),
+                backend="statebased",
+                max_markings=BASELINE_LIMIT,
+            )
+            baseline_seconds = f"{baseline.total_seconds:.3f}"
+            markings = baseline.synthesis.markings
         except StateSpaceLimitExceeded:
             baseline_seconds = "blow-up"
             markings = f">{BASELINE_LIMIT}"
         rows.append(
             {
                 "stages": stages,
-                "places": stg.net.num_places(),
+                "places": spec.stg.net.num_places(),
                 "markings": markings,
-                "structural_s": round(structural_seconds, 3),
+                "structural_s": round(structural.total_seconds, 3),
                 "statebased_s": baseline_seconds,
-                "literals": structural.circuit.literal_count(),
+                "literals": structural.literals,
             }
         )
     print(format_table(rows, title="Muller pipeline scaling (cf. Tables VI/VII)"))

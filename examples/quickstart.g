@@ -1,0 +1,18 @@
+.model quickstart
+.inputs req d1 d2
+.outputs r1 r2 ack
+.graph
+req+ r1+ r2+
+r1+ d1+
+r2+ d2+
+d1+ ack+
+d2+ ack+
+ack+ req-
+req- r1- r2-
+r1- d1-
+r2- d2-
+d1- ack-
+d2- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

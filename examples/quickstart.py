@@ -1,17 +1,20 @@
 """Quickstart: synthesize a speed-independent circuit from an STG.
 
 The example parses a small handshake controller written in the astg ``.g``
-format, runs the structural synthesis flow of Pastor et al., verifies the
-result and prints the netlist and its cost.
+format through the unified API (:mod:`repro.api`): one :class:`Spec`, one
+:func:`run` call that drives the staged pipeline (analyze → refine →
+synthesize → map → verify) and returns a typed report.
 
 Run with:  python examples/quickstart.py
+
+The same flow is available without Python:
+
+    python -m repro synthesize examples/quickstart.g --map --verify
 """
 
 from __future__ import annotations
 
-from repro.stg.parser import parse_g
-from repro.synthesis import SynthesisOptions, map_circuit, synthesize
-from repro.verify import verify_speed_independence
+from repro.api import Spec, run
 
 SPECIFICATION = """
 .model quickstart
@@ -36,24 +39,18 @@ ack- req+
 
 
 def main() -> None:
-    stg = parse_g(SPECIFICATION)
-    print(stg.describe())
+    spec = Spec.from_text(SPECIFICATION)
+    print(spec.stg.describe())
+    print(f"content hash: {spec.content_hash[:16]}…")
     print()
 
-    result = synthesize(stg, SynthesisOptions(level=5))
-    print(result.circuit.describe())
+    report = run(spec, level=5, map_technology=True, verify=True)
+    print(report.describe())
     print()
 
-    report = verify_speed_independence(stg, result.circuit)
-    print(
-        f"speed independent: {report.speed_independent} "
-        f"(checked {report.checked_markings} markings)"
-    )
-
-    mapped = map_circuit(result.circuit)
-    print(f"mapped area: {mapped.total_area} (normalized transistor units)")
-    for signal, area in sorted(mapped.per_signal_area.items()):
-        print(f"  {signal}: {area}  cells: {', '.join(mapped.cells_used[signal])}")
+    mapping = report.mapping
+    for signal, area in sorted(mapping.per_signal_area.items()):
+        print(f"  {signal}: {area}  cells: {', '.join(mapping.cells_used[signal])}")
 
 
 if __name__ == "__main__":

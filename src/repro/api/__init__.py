@@ -1,0 +1,108 @@
+"""Unified public API: one spec-to-circuit entry point.
+
+This package is the front door of the reproduction.  It redesigns the
+public surface around three concepts:
+
+* :class:`Spec` — one constructor for every input kind (``.g`` file,
+  benchmark-registry name, in-memory STG) with a stable content hash;
+* :class:`Pipeline` — the staged flow ``analyze → refine → synthesize →
+  map → verify`` with per-stage memoisation keyed on spec hash + options,
+  so sweeps and batches reuse the shared analysis front-end;
+* backends — :class:`StructuralBackend` (the paper's contribution) and
+  :class:`StateBasedBackend` (the exhaustive baseline), plus the
+  *differential* mode :func:`compare` that runs both and cross-checks the
+  circuits' next-state functions.
+
+Convenience entry points::
+
+    from repro.api import run, compare, synthesize_many
+
+    report = run("sequencer", level=5, verify=True)      # one spec
+    reports = synthesize_many(["fig1", "sequencer"], jobs=4)
+    diff = compare("muller_pipeline_4")                  # both backends
+
+The CLI (``python -m repro``) is a thin wrapper over the same calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.artifacts import (
+    AnalysisArtifact,
+    MappingArtifact,
+    RefinementArtifact,
+    Report,
+    SynthesisArtifact,
+    VerificationArtifact,
+)
+from repro.api.backends import (
+    Backend,
+    BACKEND_NAMES,
+    ComparisonReport,
+    StateBasedBackend,
+    StructuralBackend,
+    compare,
+    get_backend,
+    register_backend,
+)
+from repro.api.batch import synthesize_many
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec, SpecError, SpecLike
+from repro.synthesis.engine import SynthesisError, SynthesisOptions
+
+
+def run(
+    spec: SpecLike,
+    level: int = 5,
+    backend: str = "structural",
+    assume_csc: bool = False,
+    map_technology: bool = False,
+    verify: bool = False,
+    max_markings: Optional[int] = None,
+    options: Optional[SynthesisOptions] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> Report:
+    """One-call spec-to-circuit synthesis returning a typed :class:`Report`.
+
+    ``options`` overrides the individual ``level``/``assume_csc`` knobs;
+    pass a ``pipeline`` to share cached artifacts across calls.
+    """
+    if options is None:
+        options = SynthesisOptions(level=level, assume_csc=assume_csc)
+    if pipeline is None:
+        pipeline = Pipeline()
+    return pipeline.run(
+        spec,
+        options,
+        backend=backend,
+        map_technology=map_technology,
+        verify=verify,
+        max_markings=max_markings,
+    )
+
+
+__all__ = [
+    "AnalysisArtifact",
+    "Backend",
+    "BACKEND_NAMES",
+    "ComparisonReport",
+    "MappingArtifact",
+    "Pipeline",
+    "RefinementArtifact",
+    "Report",
+    "Spec",
+    "SpecError",
+    "SpecLike",
+    "StateBasedBackend",
+    "StructuralBackend",
+    "SynthesisArtifact",
+    "SynthesisError",
+    "SynthesisOptions",
+    "VerificationArtifact",
+    "compare",
+    "get_backend",
+    "register_backend",
+    "run",
+    "synthesize_many",
+]

@@ -1,0 +1,294 @@
+"""Typed, JSON-serializable artifacts produced by the pipeline stages.
+
+Every stage of :class:`repro.api.pipeline.Pipeline` returns one of these
+dataclasses.  Each artifact separates two layers:
+
+* plain-data fields (numbers, strings, lists, dicts) that ``to_dict()``
+  serializes for reports, the CLI ``--json`` output, and perf records;
+* in-memory *handles* (the approximation object, the circuit, the mapping)
+  that downstream stages consume but that are never serialized.
+
+:class:`Report` is the typed replacement of the ad-hoc ``statistics`` dicts
+previously returned by the synthesis engines: it aggregates the stage
+artifacts of one spec-to-circuit run and is picklable, so process-pool batch
+execution (:func:`repro.api.batch.synthesize_many`) can ship it back whole —
+including the circuit, whose covers re-pack themselves on unpickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.structural.approximation import SignalRegionApproximation
+from repro.synthesis.netlist import Circuit
+
+
+def _clean(value):
+    """Best-effort conversion to JSON-serializable data."""
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_clean(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class AnalysisArtifact:
+    """Stage ``analyze``: concurrency, consistency, approximation, SM-cover."""
+
+    spec_name: str
+    spec_hash: str
+    places: int
+    transitions: int
+    signals: list[str]
+    non_input_signals: list[str]
+    consistent: bool
+    sm_components: int
+    sm_cover_size: int
+    seconds: float
+    #: in-memory handles (not serialized)
+    approximation: Optional[SignalRegionApproximation] = field(
+        default=None, repr=False, compare=False
+    )
+    concurrency: object = field(default=None, repr=False, compare=False)
+    sm_cover: object = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return _clean(
+            {
+                "stage": "analyze",
+                "spec": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "places": self.places,
+                "transitions": self.transitions,
+                "signals": self.signals,
+                "non_input_signals": self.non_input_signals,
+                "consistent": self.consistent,
+                "sm_components": self.sm_components,
+                "sm_cover_size": self.sm_cover_size,
+                "seconds": round(self.seconds, 6),
+            }
+        )
+
+
+@dataclass
+class RefinementArtifact:
+    """Stage ``refine``: cover-function refinement plus the structural CSC check."""
+
+    spec_name: str
+    spec_hash: str
+    conflicts_before: int
+    conflicts_after: int
+    csc_certified: bool
+    unresolved_places: list[str]
+    cubes: int
+    seconds: float
+    approximation: Optional[SignalRegionApproximation] = field(
+        default=None, repr=False, compare=False
+    )
+    #: the analysis artifact this refinement was computed from
+    analysis: Optional[AnalysisArtifact] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return _clean(
+            {
+                "stage": "refine",
+                "spec": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "conflicts_before": self.conflicts_before,
+                "conflicts_after": self.conflicts_after,
+                "csc_certified": self.csc_certified,
+                "unresolved_places": self.unresolved_places,
+                "cubes": self.cubes,
+                "seconds": round(self.seconds, 6),
+            }
+        )
+
+
+@dataclass
+class SynthesisArtifact:
+    """Stage ``synthesize``: the circuit of one backend at one level."""
+
+    spec_name: str
+    spec_hash: str
+    backend: str
+    level: int
+    literals: int
+    transistors: int
+    latches: int
+    architectures: dict[str, str]
+    seconds: float
+    markings: Optional[int] = None
+    circuit: Optional[Circuit] = field(default=None, repr=False, compare=False)
+    #: the refinement artifact the structural backend synthesized from
+    refinement: Optional[RefinementArtifact] = field(
+        default=None, repr=False, compare=False
+    )
+    #: the exact signal regions the state-based backend computed (reused by
+    #: the differential mode to avoid a second reachability enumeration)
+    regions: object = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        data = {
+            "stage": "synthesize",
+            "spec": self.spec_name,
+            "spec_hash": self.spec_hash,
+            "backend": self.backend,
+            "level": self.level,
+            "literals": self.literals,
+            "transistors": self.transistors,
+            "latches": self.latches,
+            "architectures": self.architectures,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.markings is not None:
+            data["markings"] = self.markings
+        return _clean(data)
+
+
+@dataclass
+class MappingArtifact:
+    """Stage ``map``: technology mapping onto the gate library."""
+
+    spec_name: str
+    spec_hash: str
+    total_area: int
+    per_signal_area: dict[str, int]
+    cells_used: dict[str, list[str]]
+    seconds: float
+    mapped: object = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return _clean(
+            {
+                "stage": "map",
+                "spec": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "total_area": self.total_area,
+                "per_signal_area": self.per_signal_area,
+                "cells_used": self.cells_used,
+                "seconds": round(self.seconds, 6),
+            }
+        )
+
+
+@dataclass
+class VerificationArtifact:
+    """Stage ``verify``: state-based speed-independence verification."""
+
+    spec_name: str
+    spec_hash: str
+    speed_independent: bool
+    checked_markings: int
+    functional_errors: list[str]
+    hazard_errors: list[str]
+    seconds: float
+
+    def __bool__(self) -> bool:
+        return self.speed_independent
+
+    def to_dict(self) -> dict:
+        return _clean(
+            {
+                "stage": "verify",
+                "spec": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "speed_independent": self.speed_independent,
+                "checked_markings": self.checked_markings,
+                "functional_errors": self.functional_errors,
+                "hazard_errors": self.hazard_errors,
+                "seconds": round(self.seconds, 6),
+            }
+        )
+
+
+@dataclass
+class Report:
+    """The typed result of one spec-to-circuit run.
+
+    Replaces the ad-hoc ``statistics`` dicts: every stage that ran
+    contributes its artifact, and the circuit rides along as a picklable
+    handle.  ``to_dict()`` yields a pure-JSON summary.
+    """
+
+    spec_name: str
+    spec_hash: str
+    backend: str
+    level: int
+    synthesis: SynthesisArtifact
+    analysis: Optional[AnalysisArtifact] = None
+    refinement: Optional[RefinementArtifact] = None
+    mapping: Optional[MappingArtifact] = None
+    verification: Optional[VerificationArtifact] = None
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def circuit(self) -> Optional[Circuit]:
+        return self.synthesis.circuit
+
+    @property
+    def literals(self) -> int:
+        return self.synthesis.literals
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(
+            stage.seconds
+            for stage in (
+                self.analysis,
+                self.refinement,
+                self.synthesis,
+                self.mapping,
+                self.verification,
+            )
+            if stage is not None
+        )
+
+    @property
+    def speed_independent(self) -> Optional[bool]:
+        if self.verification is None:
+            return None
+        return self.verification.speed_independent
+
+    def to_dict(self) -> dict:
+        data = {
+            "spec": self.spec_name,
+            "spec_hash": self.spec_hash,
+            "backend": self.backend,
+            "level": self.level,
+            "total_seconds": round(self.total_seconds, 6),
+            "synthesize": self.synthesis.to_dict(),
+        }
+        for key, stage in (
+            ("analyze", self.analysis),
+            ("refine", self.refinement),
+            ("map", self.mapping),
+            ("verify", self.verification),
+        ):
+            if stage is not None:
+                data[key] = stage.to_dict()
+        return data
+
+    def describe(self) -> str:
+        """Human readable one-run summary (circuit netlist plus stage costs)."""
+        lines = []
+        if self.circuit is not None:
+            lines.append(self.circuit.describe())
+        lines.append(
+            f"backend: {self.backend}  level: M{self.level}  "
+            f"total: {self.total_seconds:.3f}s"
+        )
+        if self.mapping is not None:
+            lines.append(f"mapped area: {self.mapping.total_area}")
+        if self.verification is not None:
+            lines.append(
+                f"speed independent: {self.verification.speed_independent} "
+                f"(checked {self.verification.checked_markings} markings)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Pluggable synthesis backends and the differential comparison mode.
+
+A backend turns a :class:`~repro.api.spec.Spec` into a
+:class:`~repro.api.artifacts.SynthesisArtifact`.  Two implementations ship
+with the reproduction:
+
+* :class:`StructuralBackend` — the paper's contribution: region
+  approximations, never enumerating the reachability graph.  It consumes the
+  cached ``analyze``/``refine`` artifacts of the calling pipeline, so level
+  sweeps share the front-end.
+* :class:`StateBasedBackend` — the exhaustive SIS/ASSASSIN-style baseline:
+  full reachability analysis and exact regions.
+
+:func:`compare` is the *differential* mode: it runs both backends on the
+same spec and cross-checks the circuits' next-state behaviour on every
+reachable state code — the paper's Table VI/VII comparison ("the structural
+flow synthesizes the same circuits at a fraction of the CPU time") as a
+first-class API call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Union, runtime_checkable
+
+from repro.api.artifacts import Report, SynthesisArtifact, _clean
+from repro.api.spec import Spec, SpecLike
+from repro.statebased.nextstate import next_state_value
+from repro.statebased.regions import compute_signal_regions
+from repro.statebased.synthesis import synthesize_state_based
+from repro.synthesis.engine import SynthesisError, SynthesisOptions
+from repro.synthesis.engine import synthesize as _structural_synthesize
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The backend protocol: spec + options in, synthesis artifact out."""
+
+    name: str
+
+    def synthesize(
+        self,
+        pipeline,
+        spec: Spec,
+        options: SynthesisOptions,
+        max_markings: Optional[int] = None,
+    ) -> SynthesisArtifact:
+        ...
+
+
+class StructuralBackend:
+    """The structural (reachability-graph-free) flow of the paper."""
+
+    name = "structural"
+
+    def synthesize(
+        self,
+        pipeline,
+        spec: Spec,
+        options: SynthesisOptions,
+        max_markings: Optional[int] = None,
+    ) -> SynthesisArtifact:
+        refinement = pipeline.refine(spec, options)
+        if not refinement.csc_certified and not options.assume_csc:
+            raise SynthesisError(
+                "CSC could not be certified structurally for places "
+                f"{set(refinement.unresolved_places)}; state-signal insertion "
+                "would be required (pass assume_csc=True to override after an "
+                "external CSC check)"
+            )
+        start = time.perf_counter()
+        result = _structural_synthesize(
+            spec.stg, options, approximation=refinement.approximation
+        )
+        circuit = result.circuit
+        return SynthesisArtifact(
+            spec_name=spec.name,
+            spec_hash=spec.content_hash,
+            backend=self.name,
+            level=options.level,
+            literals=circuit.literal_count(),
+            transistors=circuit.transistor_estimate(),
+            latches=circuit.num_latches(),
+            architectures={
+                signal: impl.architecture.value
+                for signal, impl in circuit.implementations.items()
+            },
+            seconds=time.perf_counter() - start,
+            circuit=circuit,
+            refinement=refinement,
+        )
+
+
+class StateBasedBackend:
+    """The exhaustive state-based baseline (full reachability analysis)."""
+
+    name = "statebased"
+
+    def synthesize(
+        self,
+        pipeline,
+        spec: Spec,
+        options: SynthesisOptions,
+        max_markings: Optional[int] = None,
+    ) -> SynthesisArtifact:
+        start = time.perf_counter()
+        result = synthesize_state_based(
+            spec.stg,
+            signals=options.signals,
+            check_specification=options.check_consistency,
+            max_markings=max_markings,
+            assume_csc=options.assume_csc,
+        )
+        circuit = result.circuit
+        return SynthesisArtifact(
+            spec_name=spec.name,
+            spec_hash=spec.content_hash,
+            backend=self.name,
+            level=options.level,
+            literals=circuit.literal_count(),
+            transistors=circuit.transistor_estimate(),
+            latches=circuit.num_latches(),
+            architectures={
+                signal: impl.architecture.value
+                for signal, impl in circuit.implementations.items()
+            },
+            seconds=time.perf_counter() - start,
+            markings=result.statistics.get("markings"),
+            circuit=circuit,
+            regions=result.regions,
+        )
+
+
+_BACKENDS = {
+    StructuralBackend.name: StructuralBackend,
+    StateBasedBackend.name: StateBasedBackend,
+}
+
+BACKEND_NAMES = tuple(sorted(_BACKENDS))
+
+
+def register_backend(name: str, factory) -> None:
+    """Register a custom backend factory under a name."""
+    _BACKENDS[name] = factory
+
+
+def get_backend(backend: Union[str, Backend]) -> Backend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, str):
+        try:
+            return _BACKENDS[backend]()
+        except KeyError as error:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {', '.join(sorted(_BACKENDS))}"
+            ) from error
+    if isinstance(backend, Backend):
+        return backend
+    raise TypeError(f"backend must be a name or a Backend, got {type(backend).__name__}")
+
+
+# ---------------------------------------------------------------------- #
+# Differential mode
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ComparisonReport:
+    """Cross-check of the structural and state-based circuits on one spec.
+
+    ``matching`` is true when, at every reachable state code, both circuits
+    produce the same next value for every implemented signal *and* that
+    value agrees with the specification's implied next-state function.
+    """
+
+    spec_name: str
+    spec_hash: str
+    level: int
+    checked_markings: int
+    matching: bool
+    mismatches: list[dict] = field(default_factory=list)
+    structural: Optional[Report] = None
+    statebased: Optional[Report] = None
+
+    def __bool__(self) -> bool:
+        return self.matching
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """State-based / structural synthesis-time ratio (None if degenerate)."""
+        if self.structural is None or self.statebased is None:
+            return None
+        structural = self.structural.total_seconds
+        if structural <= 0:
+            return None
+        return self.statebased.total_seconds / structural
+
+    def to_dict(self) -> dict:
+        data = {
+            "spec": self.spec_name,
+            "spec_hash": self.spec_hash,
+            "level": self.level,
+            "checked_markings": self.checked_markings,
+            "matching": self.matching,
+            "mismatches": _clean(self.mismatches),
+        }
+        if self.structural is not None:
+            data["structural"] = self.structural.to_dict()
+        if self.statebased is not None:
+            data["statebased"] = self.statebased.to_dict()
+        if self.speedup is not None:
+            data["speedup"] = round(self.speedup, 3)
+        return data
+
+
+def compare(
+    spec: SpecLike,
+    options: Optional[SynthesisOptions] = None,
+    pipeline=None,
+    max_markings: Optional[int] = None,
+    max_mismatches: int = 20,
+) -> ComparisonReport:
+    """Run both backends and cross-check the circuits' next-state functions.
+
+    Every reachable marking of the specification is encoded and both
+    circuits are evaluated on its code; disagreements (between the circuits,
+    or between either circuit and the spec-implied next-state value) are
+    collected as mismatch records.  Requires an enumerable state space — the
+    comparison *is* the state-based cost the structural flow avoids.
+    """
+    from repro.api.pipeline import Pipeline
+
+    spec = Spec.load(spec)
+    options = options or SynthesisOptions()
+    if pipeline is None:
+        pipeline = Pipeline()
+
+    structural = pipeline.run(spec, options, backend="structural", max_markings=max_markings)
+    statebased = pipeline.run(spec, options, backend="statebased", max_markings=max_markings)
+
+    stg = spec.stg
+    # the state-based backend already enumerated and encoded the graph;
+    # re-enumerate only if its regions are unavailable (e.g. custom backend)
+    regions = statebased.synthesis.regions
+    if regions is None:
+        regions = compute_signal_regions(stg, compute_backward=False)
+    signals = [s for s in stg.non_input_signals]
+    mismatches: list[dict] = []
+    mismatch_count = 0
+    checked = 0
+    for marking in regions.encoded.markings:
+        code = regions.encoded.code_of(marking)
+        checked += 1
+        for signal in signals:
+            implied = next_state_value(stg, regions, signal, marking)
+            s_value = structural.circuit.next_value(signal, code)
+            b_value = statebased.circuit.next_value(signal, code)
+            if s_value == b_value and (implied is None or implied == s_value):
+                continue
+            mismatch_count += 1
+            # matching keys on the count; the detail records are capped
+            if len(mismatches) < max_mismatches:
+                mismatches.append(
+                    {
+                        "signal": signal,
+                        "code": regions.encoded.code_string(marking),
+                        "structural": s_value,
+                        "statebased": b_value,
+                        "specified": implied,
+                    }
+                )
+    return ComparisonReport(
+        spec_name=spec.name,
+        spec_hash=spec.content_hash,
+        level=options.level,
+        checked_markings=checked,
+        matching=mismatch_count == 0,
+        mismatches=mismatches,
+        structural=structural,
+        statebased=statebased,
+    )

@@ -1,0 +1,238 @@
+"""The ``python -m repro`` command line interface.
+
+Drives the unified pipeline without writing Python::
+
+    python -m repro list
+    python -m repro synthesize handshake_seq --level 5 --map --verify
+    python -m repro synthesize path/to/spec.g --backend statebased --json
+    python -m repro verify muller_pipeline_4
+    python -m repro compare sequencer --level 3
+    python -m repro bench fig13 --json
+
+``synthesize``/``verify``/``compare`` accept any spec source the API
+accepts: a registry benchmark name or a ``.g`` file path.  Exit status is 0
+on success, 1 when a check fails (verification/comparison mismatch), and 2
+on bad input (unknown spec, malformed ``.g``, unsynthesizable STG).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.api.backends import BACKEND_NAMES, compare
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec, SpecError
+from repro.petri.reachability import StateSpaceLimitExceeded
+from repro.statebased.synthesis import StateBasedSynthesisError
+from repro.synthesis.engine import SynthesisError, SynthesisOptions
+
+#: bench targets exposed by ``python -m repro bench``
+BENCH_TARGETS = ("table5", "table6", "table7", "table8", "fig13")
+
+
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="benchmark name or path to a .g file")
+    parser.add_argument(
+        "--level",
+        type=int,
+        default=5,
+        choices=range(1, 6),
+        help="minimization level M1..M5 (default 5)",
+    )
+    parser.add_argument(
+        "--assume-csc",
+        action="store_true",
+        help="accept specs whose CSC property is not certified structurally",
+    )
+    parser.add_argument(
+        "--max-markings",
+        type=int,
+        default=None,
+        help="bound on state-based enumeration (raises past it)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Speed-independent circuit synthesis (Pastor et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthesize", help="synthesize a circuit from a spec")
+    _add_spec_options(synth)
+    synth.add_argument(
+        "--backend",
+        default="structural",
+        choices=BACKEND_NAMES,
+        help="synthesis backend (default structural)",
+    )
+    synth.add_argument("--map", action="store_true", help="run technology mapping")
+    synth.add_argument("--verify", action="store_true", help="verify speed independence")
+    synth.add_argument(
+        "-o", "--output", default=None, help="write the report JSON to a file"
+    )
+
+    verify = sub.add_parser("verify", help="synthesize and verify a spec")
+    _add_spec_options(verify)
+    verify.add_argument(
+        "--backend", default="structural", choices=BACKEND_NAMES
+    )
+
+    comp = sub.add_parser(
+        "compare", help="differential mode: run both backends and cross-check"
+    )
+    _add_spec_options(comp)
+
+    bench = sub.add_parser("bench", help="regenerate a table/figure of the paper")
+    bench.add_argument("target", choices=BENCH_TARGETS)
+    bench.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    sub.add_parser("list", help="list registered benchmarks")
+
+    return parser
+
+
+def _emit(data: dict, as_json: bool, text: str) -> None:
+    if as_json:
+        print(json.dumps(data, indent=2))
+    else:
+        print(text)
+
+
+def _cmd_synthesize(args) -> int:
+    spec = Spec.load(args.spec)
+    options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    report = Pipeline().run(
+        spec,
+        options,
+        backend=args.backend,
+        map_technology=args.map,
+        verify=args.verify,
+        max_markings=args.max_markings,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    _emit(report.to_dict(), args.json, report.describe())
+    if args.verify and not report.verification.speed_independent:
+        return 1
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    spec = Spec.load(args.spec)
+    options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    pipeline = Pipeline()
+    verification = pipeline.verify(
+        spec, options, backend=args.backend, max_markings=args.max_markings
+    )
+    text = (
+        f"{spec.name}: speed independent: {verification.speed_independent} "
+        f"(checked {verification.checked_markings} markings)"
+    )
+    if not verification.speed_independent:
+        text += (
+            f"\n  functional errors: {len(verification.functional_errors)}"
+            f"\n  hazard errors: {len(verification.hazard_errors)}"
+        )
+    _emit(verification.to_dict(), args.json, text)
+    return 0 if verification.speed_independent else 1
+
+
+def _cmd_compare(args) -> int:
+    spec = Spec.load(args.spec)
+    options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    report = compare(spec, options, max_markings=args.max_markings)
+    lines = [
+        f"{spec.name}: next-state functions "
+        + ("MATCH" if report.matching else "MISMATCH"),
+        f"  checked markings : {report.checked_markings}",
+        f"  structural       : {report.structural.literals} literals, "
+        f"{report.structural.total_seconds:.3f}s",
+        f"  statebased       : {report.statebased.literals} literals, "
+        f"{report.statebased.total_seconds:.3f}s",
+    ]
+    if report.speedup is not None:
+        lines.append(f"  statebased/structural time ratio: {report.speedup:.2f}x")
+    for mismatch in report.mismatches:
+        lines.append(f"  mismatch: {mismatch}")
+    _emit(report.to_dict(), args.json, "\n".join(lines))
+    return 0 if report.matching else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.reporting import format_table
+
+    if args.target == "fig13":
+        from repro.experiments.fig13 import fig13_rows
+
+        rows = fig13_rows()
+        title = "Fig. 13 — average area per minimization level"
+    elif args.target == "table5":
+        from repro.experiments.table5 import table5_rows
+
+        rows = table5_rows()
+        title = "Table V — area comparison"
+    elif args.target == "table6":
+        from repro.experiments.table6 import table6_rows
+
+        rows = table6_rows()
+        title = "Table VI — CPU time on large-RG STGs"
+    elif args.target == "table7":
+        from repro.experiments.table7 import table7_rows
+
+        rows = table7_rows()
+        title = "Table VII — CPU time on the scalable examples"
+    else:
+        from repro.experiments.table8 import table8_rows
+
+        rows = table8_rows()
+        title = "Table VIII — markings / nodes / cubes"
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.benchmarks.registry import list_benchmarks
+
+    for name in list_benchmarks():
+        print(name)
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "verify": _cmd_verify,
+    "compare": _cmd_compare,
+    "bench": _cmd_bench,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (SynthesisError, StateBasedSynthesisError) as error:
+        print(f"synthesis error: {error}", file=sys.stderr)
+        return 2
+    except StateSpaceLimitExceeded as error:
+        print(f"state-space limit exceeded: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""The staged spec-to-circuit pipeline with per-stage memoisation.
+
+The pipeline decomposes synthesis into five explicit, individually cached
+stages::
+
+    analyze  →  refine  →  synthesize  →  map  →  verify
+
+* ``analyze``    — concurrency relation, structural consistency check,
+  signal-region approximation, SM-components and SM-cover
+  (the shared front-end of the structural flow);
+* ``refine``     — cover-function refinement (Section VII) plus the
+  structural CSC check;
+* ``synthesize`` — circuit generation by a pluggable backend
+  (:mod:`repro.api.backends`): the structural engine at one of the
+  minimization levels M1..M5, or the exhaustive state-based baseline;
+* ``map``        — technology mapping onto the gate library (Appendix F);
+* ``verify``     — state-based speed-independence verification.
+
+Every stage memoises its artifact keyed on the spec's content hash plus the
+options that influence it.  The key design point is that the *analysis* key
+does not include the minimization level, so a level sweep (like Fig. 13's
+M1..M5) through one pipeline reuses the analysis/refinement front-end
+instead of recomputing it per level.  ``Pipeline.stage_calls`` counts actual
+computations (cache misses), which the test-suite uses to pin the reuse
+behaviour.
+
+The in-memory handles on the artifacts (approximation, circuit) are shared
+between cache entries, but never mutated across stages: ``refine`` returns a
+*new* approximation object carrying the refined cover functions, so the
+cached ``analyze`` artifact keeps the raw approximation regardless of call
+order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter
+from typing import Optional, Union
+
+from repro.api.artifacts import (
+    AnalysisArtifact,
+    MappingArtifact,
+    Report,
+    SynthesisArtifact,
+    VerificationArtifact,
+    RefinementArtifact,
+)
+from repro.api.spec import Spec, SpecLike
+from repro.petri.smcover import compute_sm_components, compute_sm_cover
+from repro.structural.approximation import approximate_signal_regions
+from repro.structural.concurrency import compute_concurrency_relation
+from repro.structural.consistency import check_consistency_structural
+from repro.structural.csc import check_csc_structural
+from repro.structural.refinement import refine_cover_functions
+from repro.synthesis.engine import SynthesisError, SynthesisOptions
+from repro.synthesis.mapping import GateLibrary, map_circuit
+from repro.verify import verify_speed_independence
+
+
+def _options_key(options: SynthesisOptions) -> tuple:
+    """Hashable cache key of the options that influence synthesis."""
+    return (
+        options.level,
+        options.assume_csc,
+        options.check_consistency,
+        options.use_sufficient_adjacency,
+        tuple(options.signals) if options.signals is not None else None,
+    )
+
+
+def _analysis_key(options: SynthesisOptions) -> tuple:
+    """The subset of options the analysis front-end depends on (no level)."""
+    return (options.check_consistency, options.use_sufficient_adjacency)
+
+
+def _library_key(library: Optional[GateLibrary]) -> Optional[tuple]:
+    """Structural cache key of a gate library (names alone may collide)."""
+    if library is None:
+        return None
+    return (
+        library.name,
+        library.latch_area,
+        library.or2_area,
+        tuple(
+            (
+                cell.name,
+                cell.max_terms,
+                cell.max_literals_per_term,
+                cell.max_total_literals,
+                cell.area,
+            )
+            for cell in library.cells
+        ),
+    )
+
+
+class Pipeline:
+    """A caching spec-to-circuit pipeline.
+
+    One pipeline instance owns one artifact cache; share an instance across
+    calls (sweeps, batches, experiments) to reuse the staged artifacts.
+    Create with ``cache=False`` for always-fresh computation.
+    """
+
+    STAGES = ("analyze", "refine", "synthesize", "map", "verify")
+
+    def __init__(self, cache: bool = True):
+        self._cache: Optional[dict] = {} if cache else None
+        #: number of actual stage computations (cache misses), per stage
+        self.stage_calls: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+
+    def _memo(self, key: tuple, compute):
+        if self._cache is not None:
+            try:
+                return self._cache[key]
+            except KeyError:
+                pass
+        value = compute()
+        if self._cache is not None:
+            self._cache[key] = value
+        return value
+
+    def cache_info(self) -> dict:
+        """Cached artifact count per stage (for introspection and tests)."""
+        if self._cache is None:
+            return {}
+        counts: Counter = Counter(key[0] for key in self._cache)
+        return dict(counts)
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+        self.stage_calls.clear()
+
+    # ------------------------------------------------------------------ #
+    # Stage: analyze
+    # ------------------------------------------------------------------ #
+
+    def analyze(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+    ) -> AnalysisArtifact:
+        """Run the shared structural analysis front-end."""
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        key = ("analyze", spec.content_hash, _analysis_key(options))
+
+        def compute() -> AnalysisArtifact:
+            self.stage_calls["analyze"] += 1
+            start = time.perf_counter()
+            stg = spec.stg
+            concurrency = compute_concurrency_relation(stg)
+            consistent = True
+            if options.check_consistency:
+                report = check_consistency_structural(
+                    stg,
+                    concurrency,
+                    use_sufficient_conditions=options.use_sufficient_adjacency,
+                )
+                consistent = report.consistent
+                if not consistent:
+                    raise SynthesisError(
+                        "the STG is not consistent: "
+                        f"autoconcurrent={report.autoconcurrent_transitions}, "
+                        f"switchover={report.switchover_violations}"
+                    )
+            approximation = approximate_signal_regions(stg, concurrency)
+            components = compute_sm_components(stg.net)
+            try:
+                sm_cover = compute_sm_cover(stg.net, components)
+            except ValueError as error:
+                raise SynthesisError(f"no SM-cover found: {error}") from error
+            return AnalysisArtifact(
+                spec_name=spec.name,
+                spec_hash=spec.content_hash,
+                places=stg.net.num_places(),
+                transitions=stg.net.num_transitions(),
+                signals=list(stg.signal_names),
+                non_input_signals=list(stg.non_input_signals),
+                consistent=consistent,
+                sm_components=len(components),
+                sm_cover_size=len(sm_cover),
+                seconds=time.perf_counter() - start,
+                approximation=approximation,
+                concurrency=concurrency,
+                sm_cover=sm_cover,
+            )
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Stage: refine
+    # ------------------------------------------------------------------ #
+
+    def refine(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+    ) -> RefinementArtifact:
+        """Refine the cover functions and run the structural CSC check."""
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        analysis = self.analyze(spec, options)
+        key = ("refine", spec.content_hash, _analysis_key(options))
+
+        def compute() -> RefinementArtifact:
+            self.stage_calls["refine"] += 1
+            start = time.perf_counter()
+            stg = spec.stg
+            refinement = refine_cover_functions(
+                stg,
+                analysis.approximation.cover_functions,
+                analysis.sm_cover,
+                analysis.concurrency,
+            )
+            # a new approximation object: the cached analysis artifact keeps
+            # the raw cover functions (reassignment also drops the region
+            # cache the new object must not share)
+            approximation = dataclasses.replace(
+                analysis.approximation, cover_functions=refinement.cover_functions
+            )
+            csc = check_csc_structural(stg, approximation.cover_functions, analysis.sm_cover)
+            cubes = sum(len(cover) for cover in approximation.cover_functions.values())
+            return RefinementArtifact(
+                spec_name=spec.name,
+                spec_hash=spec.content_hash,
+                conflicts_before=len(refinement.eliminated_conflicts)
+                + len(refinement.remaining_conflicts),
+                conflicts_after=len(refinement.remaining_conflicts),
+                csc_certified=csc.satisfied,
+                unresolved_places=sorted(csc.unresolved_places),
+                cubes=cubes,
+                seconds=time.perf_counter() - start,
+                approximation=approximation,
+                analysis=analysis,
+            )
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Stage: synthesize
+    # ------------------------------------------------------------------ #
+
+    def synthesize(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+        backend: Union[str, "object"] = "structural",
+        max_markings: Optional[int] = None,
+    ) -> SynthesisArtifact:
+        """Generate the circuit with the requested backend."""
+        from repro.api.backends import get_backend
+
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        backend = get_backend(backend)
+        if backend.name == "structural":
+            # the structural flow never enumerates the state space: keep the
+            # bound out of the key so bounded/unbounded calls share the cache
+            max_markings = None
+        key = (
+            "synthesize",
+            spec.content_hash,
+            backend.name,
+            _options_key(options),
+            max_markings,
+        )
+
+        def compute() -> SynthesisArtifact:
+            self.stage_calls["synthesize"] += 1
+            return backend.synthesize(self, spec, options, max_markings=max_markings)
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Stage: map
+    # ------------------------------------------------------------------ #
+
+    def map(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+        backend: Union[str, "object"] = "structural",
+        library: Optional[GateLibrary] = None,
+        max_markings: Optional[int] = None,
+    ) -> MappingArtifact:
+        """Map the synthesized circuit onto the gate library."""
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
+        if synthesis.backend == "structural":
+            max_markings = None
+        key = (
+            "map",
+            spec.content_hash,
+            synthesis.backend,
+            _options_key(options),
+            max_markings,
+            _library_key(library),
+        )
+
+        def compute() -> MappingArtifact:
+            self.stage_calls["map"] += 1
+            start = time.perf_counter()
+            mapped = map_circuit(synthesis.circuit, library)
+            return MappingArtifact(
+                spec_name=spec.name,
+                spec_hash=spec.content_hash,
+                total_area=mapped.total_area,
+                per_signal_area=dict(mapped.per_signal_area),
+                cells_used={s: list(c) for s, c in mapped.cells_used.items()},
+                seconds=time.perf_counter() - start,
+                mapped=mapped,
+            )
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Stage: verify
+    # ------------------------------------------------------------------ #
+
+    def verify(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+        backend: Union[str, "object"] = "structural",
+        max_markings: Optional[int] = None,
+    ) -> VerificationArtifact:
+        """Verify the synthesized circuit to be speed independent."""
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
+        if synthesis.backend == "structural":
+            max_markings = None
+        key = (
+            "verify",
+            spec.content_hash,
+            synthesis.backend,
+            _options_key(options),
+            max_markings,
+        )
+
+        def compute() -> VerificationArtifact:
+            self.stage_calls["verify"] += 1
+            start = time.perf_counter()
+            report = verify_speed_independence(spec.stg, synthesis.circuit)
+            return VerificationArtifact(
+                spec_name=spec.name,
+                spec_hash=spec.content_hash,
+                speed_independent=report.speed_independent,
+                checked_markings=report.checked_markings,
+                functional_errors=list(report.functional_errors),
+                hazard_errors=list(report.hazard_errors),
+                seconds=time.perf_counter() - start,
+            )
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Full run
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+        backend: Union[str, "object"] = "structural",
+        map_technology: bool = False,
+        verify: bool = False,
+        max_markings: Optional[int] = None,
+    ) -> Report:
+        """Run the full pipeline and return a typed :class:`Report`."""
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
+        analysis = refinement = None
+        if synthesis.backend == "structural":
+            # reuse the exact front-end artifacts the circuit was built from
+            # (avoids recomputation when the cache is disabled)
+            refinement = synthesis.refinement
+            if refinement is None:
+                refinement = self.refine(spec, options)
+            analysis = refinement.analysis
+            if analysis is None:
+                analysis = self.analyze(spec, options)
+        mapping = None
+        if map_technology:
+            mapping = self.map(spec, options, backend=backend, max_markings=max_markings)
+        verification = None
+        if verify:
+            verification = self.verify(spec, options, backend=backend, max_markings=max_markings)
+        return Report(
+            spec_name=spec.name,
+            spec_hash=spec.content_hash,
+            backend=synthesis.backend,
+            level=options.level,
+            synthesis=synthesis,
+            analysis=analysis,
+            refinement=refinement,
+            mapping=mapping,
+            verification=verification,
+        )

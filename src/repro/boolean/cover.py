@@ -118,6 +118,11 @@ class Cover:
             return NotImplemented
         return self.contains_cover(other) and other.contains_cover(self)
 
+    def __reduce__(self):
+        # Rebuild from cubes + variable names so that the packed per-cube
+        # masks are re-derived in the unpickling process's interner order.
+        return (Cover, (self._cubes, self._variables))
+
     def __repr__(self) -> str:
         if not self._cubes:
             return "Cover(0)"

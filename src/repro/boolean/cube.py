@@ -142,6 +142,12 @@ class Cube(Mapping[str, int]):
             return self._literals == dict(other)
         return NotImplemented
 
+    def __reduce__(self):
+        # Pickle by literal names, not by the packed masks: the bit positions
+        # depend on the process-global interner order, which may differ in
+        # the process that unpickles (e.g. process-pool batch workers).
+        return (Cube, (self._literals,))
+
     def __repr__(self) -> str:
         if not self._literals:
             return "Cube(1)"

@@ -12,9 +12,12 @@ Each module regenerates one experiment of Section IX:
 * :mod:`table8` — markings / nodes / cubes trade-off of the cube
   approximations.
 
-Every experiment returns a list of row dictionaries and can render itself as
-an aligned text table via :mod:`reporting`, so the pytest-benchmark harness
-under ``benchmarks/`` and the examples can share the same code.
+Every experiment runs on top of the unified :mod:`repro.api` pipeline (the
+structural levels of one benchmark share the cached ``analyze``/``refine``
+front-end) and returns a list of row dictionaries that can render as an
+aligned text table via :mod:`reporting`, so the pytest-benchmark harness
+under ``benchmarks/``, the examples, and ``python -m repro bench`` all share
+the same code.
 """
 
 from repro.experiments.reporting import format_table

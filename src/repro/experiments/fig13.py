@@ -3,48 +3,69 @@
 The paper plots, for two benchmark sets, the average area of the circuits as
 the minimization steps M1 (per-excitation-region covers) through M5 (backward
 expansion) and finally technology mapping (TM) are enabled.  The reproduction
-sweeps the same levels of the structural engine over the classic benchmark
-suite and reports average literal counts and mapped areas (normalized to the
-M1 point, as the paper normalizes to the initial semi-optimized circuit).
+sweeps the same levels through one cached :class:`repro.api.Pipeline`: the
+``analyze``/``refine`` front-end is computed once per benchmark and reused by
+every level (the sweep only re-runs the ``synthesize`` stage), then reports
+average literal counts and mapped areas (normalized to the M1 point, as the
+paper normalizes to the initial semi-optimized circuit).
 """
 
 from __future__ import annotations
 
-from repro.benchmarks.classic import classic_names, load_classic
-from repro.synthesis import SynthesisOptions, map_circuit, synthesize
-from repro.synthesis.engine import prepare_approximation
+from typing import Optional
+
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
+from repro.benchmarks.classic import classic_names
+from repro.synthesis import SynthesisOptions
 
 #: The minimization points of Fig. 13 (technology mapping is applied on top
 #: of the strongest level).
 LEVELS: tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5", "TM")
 
 
-def fig13_rows(names: list[str] | None = None) -> list[dict]:
-    """Average area per minimization level over the benchmark set."""
+def fig13_per_benchmark(
+    names: Optional[list[str]] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> dict[str, dict[str, dict]]:
+    """Literals and area per benchmark and level, via the cached pipeline.
+
+    Returns ``{benchmark: {level: {"literals": int, "area": int}}}``; the
+    test-suite uses the per-benchmark breakdown to pin the monotonicity of
+    the level sweep.
+    """
     if names is None:
         names = classic_names(synthesizable_only=True)
-    per_level_literals: dict[str, list[int]] = {level: [] for level in LEVELS}
-    per_level_area: dict[str, list[int]] = {level: [] for level in LEVELS}
+    if pipeline is None:
+        pipeline = Pipeline()
+    results: dict[str, dict[str, dict]] = {}
     for name in names:
-        stg = load_classic(name)
-        approximation, _ = prepare_approximation(stg, SynthesisOptions(assume_csc=True))
+        spec = Spec.from_benchmark(name)
+        per_level: dict[str, dict] = {}
         for index, level in enumerate(LEVELS, start=1):
             numeric_level = min(index, 5)
             options = SynthesisOptions(level=numeric_level, assume_csc=True)
-            result = synthesize(stg, options, approximation=approximation)
-            literals = result.circuit.literal_count()
+            synthesis = pipeline.synthesize(spec, options)
             if level == "TM":
-                area = map_circuit(result.circuit).total_area
+                area = pipeline.map(spec, options).total_area
             else:
-                area = result.circuit.transistor_estimate()
-            per_level_literals[level].append(literals)
-            per_level_area[level].append(area)
+                area = synthesis.transistors
+            per_level[level] = {"literals": synthesis.literals, "area": area}
+        results[name] = per_level
+    return results
 
+
+def fig13_rows(
+    names: Optional[list[str]] = None,
+    pipeline: Optional[Pipeline] = None,
+) -> list[dict]:
+    """Average area per minimization level over the benchmark set."""
+    per_benchmark = fig13_per_benchmark(names, pipeline)
     rows: list[dict] = []
     baseline = None
     for level in LEVELS:
-        literals = per_level_literals[level]
-        areas = per_level_area[level]
+        literals = [cells[level]["literals"] for cells in per_benchmark.values()]
+        areas = [cells[level]["area"] for cells in per_benchmark.values()]
         avg_literals = sum(literals) / len(literals)
         avg_area = sum(areas) / len(areas)
         if baseline is None:

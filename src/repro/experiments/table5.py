@@ -10,44 +10,59 @@ so the reproduction compares:
 * ``s3c_full`` — the fully minimized structural flow (level 5) plus
   technology mapping.
 
-Areas are reported in literals and mapped (normalized transistor) units, and
-every synthesized circuit is re-verified to be speed independent.
+All flows run through one cached :class:`repro.api.Pipeline` (the structural
+levels share the analysis front-end; the state-based run contributes the
+marking count).  Areas are reported in literals and mapped (normalized
+transistor) units, and every synthesized circuit is re-verified to be speed
+independent.
 """
 
 from __future__ import annotations
 
-from repro.benchmarks.classic import classic_names, load_classic
-from repro.petri.reachability import build_reachability_graph
-from repro.statebased.synthesis import synthesize_state_based
-from repro.synthesis import SynthesisOptions, map_circuit, synthesize
-from repro.verify import verify_speed_independence
+from typing import Optional
+
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
+from repro.benchmarks.classic import classic_names
+from repro.synthesis import SynthesisOptions
 
 
-def table5_rows(names: list[str] | None = None, verify: bool = True) -> list[dict]:
+def table5_rows(
+    names: Optional[list[str]] = None,
+    verify: bool = True,
+    pipeline: Optional[Pipeline] = None,
+) -> list[dict]:
     """One row per benchmark: sizes and areas of the three flows."""
     if names is None:
         names = classic_names(synthesizable_only=True)
+    if pipeline is None:
+        pipeline = Pipeline()
     rows: list[dict] = []
+    base_options = SynthesisOptions(level=5)
+    partial_options = SynthesisOptions(level=3, assume_csc=True)
+    full_options = SynthesisOptions(level=5, assume_csc=True)
     for name in names:
-        stg = load_classic(name)
-        graph = build_reachability_graph(stg.net)
-        baseline = synthesize_state_based(stg)
-        partial = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
-        full = synthesize(stg, SynthesisOptions(level=5, assume_csc=True))
-        mapped = map_circuit(full.circuit)
+        spec = Spec.from_benchmark(name)
+        baseline = pipeline.synthesize(spec, base_options, backend="statebased")
+        partial = pipeline.synthesize(spec, partial_options)
+        full = pipeline.synthesize(spec, full_options)
+        mapped = pipeline.map(spec, full_options)
+        stg = spec.stg
         row = {
             "benchmark": name,
             "P": stg.net.num_places(),
             "T": stg.net.num_transitions(),
-            "M": len(graph),
-            "base_lits": baseline.circuit.literal_count(),
-            "s3c_lits": partial.circuit.literal_count(),
-            "s3c_full_lits": full.circuit.literal_count(),
+            "M": baseline.markings,
+            "base_lits": baseline.literals,
+            "s3c_lits": partial.literals,
+            "s3c_full_lits": full.literals,
             "s3c_mapped_area": mapped.total_area,
         }
         if verify:
-            row["base_SI"] = bool(verify_speed_independence(stg, baseline.circuit))
-            row["s3c_SI"] = bool(verify_speed_independence(stg, full.circuit))
+            row["base_SI"] = bool(
+                pipeline.verify(spec, base_options, backend="statebased")
+            )
+            row["s3c_SI"] = bool(pipeline.verify(spec, full_options))
         rows.append(row)
     totals = {
         "benchmark": "TOTAL",

@@ -3,20 +3,21 @@
 The paper synthesizes STGs whose reachability graphs have from thousands to
 10^27 markings and compares its CPU time against SIS and ASSASSIN (which
 either time out or blow up).  The reproduction uses arrays of independent
-handshake cells (4^n markings) and wide Muller pipelines, runs the structural
-flow, and runs the state-based baseline only while the state space remains
-enumerable (the baseline is reported as "blow-up" past the cut-off — the same
-way the paper reports the tools that could not complete).
+handshake cells (4^n markings) and wide Muller pipelines, runs both backends
+through the unified API, and reports the state-based baseline only while the
+state space remains enumerable (past the cut-off it is reported as
+"blow-up" — the same way the paper reports the tools that could not
+complete).  Each case uses a fresh pipeline so the structural timing includes
+the full analyze → refine → synthesize chain.
 """
 
 from __future__ import annotations
 
-import time
-
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
 from repro.benchmarks import scalable
 from repro.petri.reachability import StateSpaceLimitExceeded
-from repro.statebased.synthesis import synthesize_state_based
-from repro.synthesis import SynthesisOptions, synthesize
+from repro.synthesis import SynthesisOptions
 
 #: (name, constructor, closed-form marking count or None)
 DEFAULT_CASES = [
@@ -40,30 +41,33 @@ def table6_rows(cases=None, baseline_limit: int = BASELINE_MARKING_LIMIT) -> lis
         cases = DEFAULT_CASES
     rows: list[dict] = []
     for name, builder, markings in cases:
-        stg = builder()
-        start = time.perf_counter()
-        structural = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
-        structural_seconds = time.perf_counter() - start
+        spec = Spec.from_stg(builder(), name=name)
+        pipeline = Pipeline()
+        structural = pipeline.run(spec, SynthesisOptions(level=3, assume_csc=True))
 
         baseline_seconds: float | str
         baseline_markings: int | str
-        start = time.perf_counter()
         try:
-            baseline = synthesize_state_based(stg, max_markings=baseline_limit)
-            baseline_seconds = round(time.perf_counter() - start, 3)
-            baseline_markings = baseline.statistics["markings"]
+            baseline = pipeline.run(
+                spec,
+                SynthesisOptions(level=3),
+                backend="statebased",
+                max_markings=baseline_limit,
+            )
+            baseline_seconds = round(baseline.total_seconds, 3)
+            baseline_markings = baseline.synthesis.markings
         except StateSpaceLimitExceeded:
             baseline_seconds = "blow-up"
             baseline_markings = f">{baseline_limit}"
         rows.append(
             {
                 "benchmark": name,
-                "P": stg.net.num_places(),
-                "T": stg.net.num_transitions(),
+                "P": spec.stg.net.num_places(),
+                "T": spec.stg.net.num_transitions(),
                 "markings": markings if markings is not None else baseline_markings,
-                "structural_s": round(structural_seconds, 3),
+                "structural_s": round(structural.total_seconds, 3),
                 "statebased_s": baseline_seconds,
-                "structural_lits": structural.circuit.literal_count(),
+                "structural_lits": structural.literals,
             }
         )
     return rows

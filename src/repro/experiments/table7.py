@@ -2,19 +2,19 @@
 
 The paper reports synthesis times for growing dining-philosophers (a
 non-free-choice, SM-coverable net) and Muller-pipeline instances.  The
-reproduction sweeps both families and reports the structural synthesis time
-and the circuit size; the state-based baseline time is included while the
-state space stays enumerable, to show the cross-over.
+reproduction sweeps both families through the unified API and reports the
+structural synthesis time and the circuit size; the state-based baseline
+time is included while the state space stays enumerable, to show the
+cross-over.
 """
 
 from __future__ import annotations
 
-import time
-
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
 from repro.benchmarks import scalable
 from repro.petri.reachability import StateSpaceLimitExceeded
-from repro.statebased.synthesis import synthesize_state_based
-from repro.synthesis import SynthesisOptions, synthesize
+from repro.synthesis import SynthesisOptions
 
 DEFAULT_PHILOSOPHERS = (3, 5, 8, 12)
 DEFAULT_PIPELINES = (4, 8, 16, 32)
@@ -36,27 +36,30 @@ def table7_rows(
         for n in pipelines
     ]
     for name, builder in cases:
-        stg = builder()
-        start = time.perf_counter()
-        structural = synthesize(stg, SynthesisOptions(level=3, assume_csc=True))
-        structural_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        spec = Spec.from_stg(builder(), name=name)
+        pipeline = Pipeline()
+        structural = pipeline.run(spec, SynthesisOptions(level=3, assume_csc=True))
         try:
-            baseline = synthesize_state_based(stg, max_markings=baseline_limit)
-            baseline_seconds: float | str = round(time.perf_counter() - start, 3)
-            markings: int | str = baseline.statistics["markings"]
+            baseline = pipeline.run(
+                spec,
+                SynthesisOptions(level=3),
+                backend="statebased",
+                max_markings=baseline_limit,
+            )
+            baseline_seconds: float | str = round(baseline.total_seconds, 3)
+            markings: int | str = baseline.synthesis.markings
         except StateSpaceLimitExceeded:
             baseline_seconds = "blow-up"
             markings = f">{baseline_limit}"
         rows.append(
             {
                 "benchmark": name,
-                "P": stg.net.num_places(),
-                "T": stg.net.num_transitions(),
+                "P": spec.stg.net.num_places(),
+                "T": spec.stg.net.num_transitions(),
                 "markings": markings,
-                "structural_s": round(structural_seconds, 3),
+                "structural_s": round(structural.total_seconds, 3),
                 "statebased_s": baseline_seconds,
-                "structural_lits": structural.circuit.literal_count(),
+                "structural_lits": structural.literals,
             }
         )
     return rows

@@ -3,57 +3,75 @@
 The paper reports, separately for STGs with fewer and with more than 10^6
 markings, the total number of reachable markings, STG nodes, and cubes used
 by the structural approximations, plus the cubes/node and markings/cube
-ratios that justify the cube-approximation approach.
+ratios that justify the cube-approximation approach.  The cube counts come
+from the ``analyze``/``refine`` stages of the unified pipeline.
 """
 
 from __future__ import annotations
 
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
 from repro.benchmarks import scalable
-from repro.benchmarks.classic import classic_names, load_classic
+from repro.benchmarks.classic import classic_names
 from repro.benchmarks.figures import fig1_stg, fig7_glatch_stg
 from repro.petri.reachability import StateSpaceLimitExceeded, count_reachable_markings
-from repro.synthesis import SynthesisOptions
-from repro.synthesis.engine import prepare_approximation
 
 #: marking-count threshold separating the "small" and "large" groups
 LARGE_THRESHOLD = 10_000
 
 
-def _benchmark_set() -> list[tuple[str, object, int | None]]:
-    """(name, stg, closed-form markings or None) for the analyzed set."""
-    items: list[tuple[str, object, int | None]] = []
+def _benchmark_set() -> list[tuple[Spec, int | None]]:
+    """(spec, closed-form markings or None) for the analyzed set."""
+    items: list[tuple[Spec, int | None]] = []
     for name in classic_names(synthesizable_only=True):
-        items.append((name, load_classic(name), None))
-    items.append(("fig1", fig1_stg(), None))
-    items.append(("glatch_8", fig7_glatch_stg(8), None))
-    items.append(("muller_pipeline_16", scalable.muller_pipeline(16), None))
-    items.append(("independent_cells_12", scalable.independent_cells(12), 4 ** 12))
-    items.append(("independent_cells_30", scalable.independent_cells(30), 4 ** 30))
-    items.append(("independent_cells_45", scalable.independent_cells(45), 4 ** 45))
+        items.append((Spec.from_benchmark(name), None))
+    items.append((Spec.from_stg(fig1_stg(), name="fig1"), None))
+    items.append((Spec.from_stg(fig7_glatch_stg(8), name="glatch_8"), None))
+    items.append(
+        (Spec.from_stg(scalable.muller_pipeline(16), name="muller_pipeline_16"), None)
+    )
+    items.append(
+        (
+            Spec.from_stg(scalable.independent_cells(12), name="independent_cells_12"),
+            4 ** 12,
+        )
+    )
+    items.append(
+        (
+            Spec.from_stg(scalable.independent_cells(30), name="independent_cells_30"),
+            4 ** 30,
+        )
+    )
+    items.append(
+        (
+            Spec.from_stg(scalable.independent_cells(45), name="independent_cells_45"),
+            4 ** 45,
+        )
+    )
     return items
 
 
 def table8_rows(enumeration_limit: int = 300_000) -> list[dict]:
     """Per-benchmark counts plus the two aggregated groups of Table VIII."""
+    pipeline = Pipeline()
     per_benchmark: list[dict] = []
-    for name, stg, closed_form in _benchmark_set():
+    for spec, closed_form in _benchmark_set():
         if closed_form is not None:
             markings: int | None = closed_form
         else:
             try:
                 markings = count_reachable_markings(
-                    stg.net, max_markings=enumeration_limit
+                    spec.stg.net, max_markings=enumeration_limit
                 )
             except StateSpaceLimitExceeded:
                 markings = None
-        approximation, stats = prepare_approximation(
-            stg, SynthesisOptions(assume_csc=True)
-        )
-        nodes = stg.net.num_places() + stg.net.num_transitions()
-        cubes = sum(len(cover) for cover in approximation.cover_functions.values())
+        analysis = pipeline.analyze(spec)
+        refinement = pipeline.refine(spec)
+        nodes = analysis.places + analysis.transitions
+        cubes = refinement.cubes
         per_benchmark.append(
             {
-                "benchmark": name,
+                "benchmark": spec.name,
                 "markings": markings if markings is not None else f">{enumeration_limit}",
                 "nodes": nodes,
                 "cubes": cubes,

@@ -52,6 +52,7 @@ def synthesize_state_based(
     allow_combinational: bool = True,
     check_specification: bool = True,
     max_markings: Optional[int] = None,
+    assume_csc: bool = False,
 ) -> StateBasedResult:
     """Synthesize a circuit by exhaustive reachability analysis.
 
@@ -61,6 +62,10 @@ def synthesize_state_based(
         Optional bound on the explored state space; exceeding it raises
         :class:`repro.petri.reachability.StateSpaceLimitExceeded` (used by the
         scalability experiments to document where the baseline gives up).
+    assume_csc:
+        Skip only the CSC part of the specification check (the caller takes
+        responsibility, mirroring the structural flow's ``assume_csc``);
+        consistency is still verified when ``check_specification`` is set.
     """
     start = time.perf_counter()
     stats: dict = {}
@@ -74,11 +79,12 @@ def synthesize_state_based(
         report = check_consistency_state_based(stg, graph)
         if not report.consistent:
             raise StateBasedSynthesisError(f"inconsistent STG: {report.message}")
-        coding = analyze_state_coding(stg, encoded)
-        if not coding.satisfies_csc:
-            raise StateBasedSynthesisError(
-                f"CSC violations: {len(coding.csc_conflicts)} conflicting pairs"
-            )
+        if not assume_csc:
+            coding = analyze_state_coding(stg, encoded)
+            if not coding.satisfies_csc:
+                raise StateBasedSynthesisError(
+                    f"CSC violations: {len(coding.csc_conflicts)} conflicting pairs"
+                )
 
     targets = signals if signals is not None else stg.non_input_signals
     regions = compute_signal_regions(stg, encoded, signals=targets)

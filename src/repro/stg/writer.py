@@ -3,6 +3,13 @@
 The writer emits a description that :func:`repro.stg.parser.parse_g` parses
 back to an equivalent STG (same signals, same net structure up to implicit
 place naming, same marking); round-tripping is covered by the test-suite.
+
+The output is *canonical*: graph lines are emitted in sorted node order
+(with sorted targets), so two structurally identical STGs serialize to the
+same text regardless of construction order.  The content hash of
+:class:`repro.api.Spec` relies on this — ``write_g ∘ parse_g`` is a fixed
+point on its own output.  Signal declarations keep their declaration order
+(it is semantic: it fixes the variable order of the synthesis flow).
 """
 
 from __future__ import annotations
@@ -46,34 +53,29 @@ def write_g(stg: STG, path: Optional[str | os.PathLike] = None) -> str:
         else:
             explicit_places.append(place)
 
-    emitted: set[tuple[str, str]] = set()
-    for transition in stg.transitions:
+    for transition in sorted(stg.transitions):
         targets: list[str] = []
-        for successor in sorted(stg.net.postset(transition)):
+        for successor in stg.net.postset(transition):
             if successor in implicit_pairs:
                 _, next_transition = implicit_pairs[successor]
                 targets.append(next_transition)
-                emitted.add((transition, successor))
-                emitted.add((successor, next_transition))
             else:
                 targets.append(successor)
-                emitted.add((transition, successor))
         if targets:
-            lines.append(f"{transition} " + " ".join(targets))
-    for place in explicit_places:
+            lines.append(f"{transition} " + " ".join(sorted(targets)))
+    for place in sorted(explicit_places):
         targets = sorted(stg.net.postset(place))
         if targets:
             lines.append(f"{place} " + " ".join(targets))
-            emitted.update((place, target) for target in targets)
 
     marked: list[str] = []
-    for place in sorted(stg.initial_marking.marked_places):
+    for place in stg.initial_marking.marked_places:
         if place in implicit_pairs:
             source, target = implicit_pairs[place]
             marked.append(f"<{source},{target}>")
         else:
             marked.append(place)
-    lines.append(".marking { " + " ".join(marked) + " }")
+    lines.append(".marking { " + " ".join(sorted(marked)) + " }")
     if stg.initial_values:
         pairs = " ".join(f"{s}={v}" for s, v in sorted(stg.initial_values.items()))
         lines.append(f".initial {pairs}")

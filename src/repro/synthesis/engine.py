@@ -34,16 +34,8 @@ from typing import Optional
 
 from repro.boolean.cover import Cover
 from repro.boolean.minimize import minimize_cover
-from repro.petri.smcover import compute_sm_components, compute_sm_cover
 from repro.stg.stg import STG
-from repro.structural.approximation import (
-    SignalRegionApproximation,
-    approximate_signal_regions,
-)
-from repro.structural.concurrency import compute_concurrency_relation
-from repro.structural.consistency import check_consistency_structural
-from repro.structural.csc import check_csc_structural
-from repro.structural.refinement import refine_cover_functions
+from repro.structural.approximation import SignalRegionApproximation
 from repro.synthesis.conditions import (
     check_cover_correctness,
     check_monotonicity_structural,
@@ -87,15 +79,33 @@ class SynthesisOptions:
 
 @dataclass
 class SynthesisResult:
-    """A synthesized circuit together with flow statistics."""
+    """A synthesized circuit together with flow statistics.
+
+    The circuit's cost and rendering queries are delegated explicitly (a
+    ``__getattr__`` passthrough would recurse infinitely under
+    ``copy.copy``/pickle while ``circuit`` is not yet set, which breaks
+    process-pool batch results).
+    """
 
     circuit: Circuit
     approximation: SignalRegionApproximation
     statistics: dict = field(default_factory=dict)
 
-    def __getattr__(self, item):
-        # convenience passthrough (result.literal_count(), ...)
-        return getattr(self.circuit, item)
+    def literal_count(self) -> int:
+        """Total literal count of the synthesized circuit."""
+        return self.circuit.literal_count()
+
+    def transistor_estimate(self) -> int:
+        """Total estimated transistor count of the synthesized circuit."""
+        return self.circuit.transistor_estimate()
+
+    def num_latches(self) -> int:
+        """Number of memory elements in the synthesized circuit."""
+        return self.circuit.num_latches()
+
+    def describe(self) -> str:
+        """Multi-line human readable netlist of the synthesized circuit."""
+        return self.circuit.describe()
 
 
 def _minimize_against(
@@ -265,58 +275,41 @@ def prepare_approximation(
 ) -> tuple[SignalRegionApproximation, dict]:
     """Run the analysis front-end: consistency, approximation, refinement, CSC.
 
+    .. deprecated::
+        Thin shim over the staged :class:`repro.api.pipeline.Pipeline`
+        (stages ``analyze`` and ``refine``), kept for the historical
+        module-level API.  New code should drive the pipeline directly —
+        it memoises the artifacts so sweeps reuse the front-end.
+
     Returns the (refined) signal-region approximation and a statistics
     dictionary.  Raises :class:`SynthesisError` on consistency or CSC
     failures (unless ``options.assume_csc``).
     """
+    from repro.api.pipeline import Pipeline
+    from repro.api.spec import Spec
+
     options = options or SynthesisOptions()
-    stats: dict = {}
-    start = time.perf_counter()
-
-    concurrency = compute_concurrency_relation(stg)
-    if options.check_consistency:
-        report = check_consistency_structural(
-            stg, concurrency, use_sufficient_conditions=options.use_sufficient_adjacency
-        )
-        if not report.consistent:
-            raise SynthesisError(
-                "the STG is not consistent: "
-                f"autoconcurrent={report.autoconcurrent_transitions}, "
-                f"switchover={report.switchover_violations}"
-            )
-    approximation = approximate_signal_regions(stg, concurrency)
-
-    components = compute_sm_components(stg.net)
-    try:
-        sm_cover = compute_sm_cover(stg.net, components)
-    except ValueError as error:
-        raise SynthesisError(f"no SM-cover found: {error}") from error
-    stats["sm_components"] = len(components)
-    stats["sm_cover"] = len(sm_cover)
-
-    refinement = refine_cover_functions(
-        stg, approximation.cover_functions, sm_cover, concurrency
-    )
-    approximation.cover_functions = refinement.cover_functions
-    stats["conflicts_before"] = len(refinement.eliminated_conflicts) + len(
-        refinement.remaining_conflicts
-    )
-    stats["conflicts_after"] = len(refinement.remaining_conflicts)
-
-    csc = check_csc_structural(stg, approximation.cover_functions, sm_cover)
-    stats["csc_certified"] = csc.satisfied
-    if not csc.satisfied and not options.assume_csc:
+    pipeline = Pipeline()
+    spec = Spec.from_stg(stg)
+    analysis = pipeline.analyze(spec, options)
+    refinement = pipeline.refine(spec, options)
+    if not refinement.csc_certified and not options.assume_csc:
         raise SynthesisError(
             "CSC could not be certified structurally for places "
-            f"{csc.unresolved_places}; state-signal insertion would be "
-            "required (pass assume_csc=True to override after an external "
-            "CSC check)"
+            f"{set(refinement.unresolved_places)}; state-signal insertion "
+            "would be required (pass assume_csc=True to override after an "
+            "external CSC check)"
         )
-    stats["cubes"] = sum(
-        len(cover) for cover in approximation.cover_functions.values()
-    )
-    stats["analysis_seconds"] = time.perf_counter() - start
-    return approximation, stats
+    stats = {
+        "sm_components": analysis.sm_components,
+        "sm_cover": analysis.sm_cover_size,
+        "conflicts_before": refinement.conflicts_before,
+        "conflicts_after": refinement.conflicts_after,
+        "csc_certified": refinement.csc_certified,
+        "cubes": refinement.cubes,
+        "analysis_seconds": analysis.seconds + refinement.seconds,
+    }
+    return refinement.approximation, stats
 
 
 def synthesize(
@@ -324,7 +317,14 @@ def synthesize(
     options: Optional[SynthesisOptions] = None,
     approximation: Optional[SignalRegionApproximation] = None,
 ) -> SynthesisResult:
-    """Synthesize a speed-independent circuit from an STG, structurally."""
+    """Synthesize a speed-independent circuit from an STG, structurally.
+
+    This is the legacy module-level entry point, retained as a shim (the
+    structural backend of :mod:`repro.api` calls it with a pre-computed
+    approximation).  Prefer :func:`repro.api.run` / the staged
+    :class:`repro.api.pipeline.Pipeline` for new code: they add artifact
+    caching, pluggable backends, batch execution and typed reports.
+    """
     options = options or SynthesisOptions()
     stats: dict = {}
     if approximation is None:

@@ -1,0 +1,112 @@
+"""Tests of the pluggable backends and the differential comparison mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    Pipeline,
+    StateBasedBackend,
+    StructuralBackend,
+    SynthesisOptions,
+    compare,
+    get_backend,
+    register_backend,
+)
+
+#: small registry benchmarks with enumerable state spaces and certified CSC
+DIFFERENTIAL_NAMES = [
+    "handshake_seq",
+    "sequencer",
+    "converter_2to4",
+    "rw_port",
+    "muller_pipeline_2",
+]
+
+
+class TestBackendResolution:
+    def test_names_resolve(self):
+        assert isinstance(get_backend("structural"), StructuralBackend)
+        assert isinstance(get_backend("statebased"), StateBasedBackend)
+
+    def test_instances_pass_through(self):
+        backend = StructuralBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("quantum")
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+    def test_custom_backend_registration(self):
+        class EchoBackend(StructuralBackend):
+            name = "echo"
+
+        register_backend("echo", EchoBackend)
+        try:
+            artifact = Pipeline().synthesize(
+                "handshake_seq", SynthesisOptions(assume_csc=True), backend="echo"
+            )
+            assert artifact.backend == "echo"
+        finally:
+            from repro.api.backends import _BACKENDS
+
+            _BACKENDS.pop("echo", None)
+
+
+class TestDifferentialMode:
+    @pytest.mark.parametrize("name", DIFFERENTIAL_NAMES)
+    def test_backends_agree_on_next_state_functions(self, name):
+        """The paper's central claim as an API call: same circuits, both flows."""
+        report = compare(name, SynthesisOptions(level=5, assume_csc=True))
+        assert report.matching, report.mismatches
+        assert bool(report)
+        assert report.checked_markings > 0
+        assert report.structural.backend == "structural"
+        assert report.statebased.backend == "statebased"
+
+    def test_comparison_report_serializes(self):
+        report = compare("handshake_seq", SynthesisOptions(level=3, assume_csc=True))
+        data = report.to_dict()
+        json.dumps(data)
+        assert data["matching"] is True
+        assert data["checked_markings"] == report.checked_markings
+        assert "structural" in data and "statebased" in data
+
+    def test_comparison_shares_the_pipeline_cache(self):
+        pipeline = Pipeline()
+        options = SynthesisOptions(level=5, assume_csc=True)
+        compare("sequencer", options, pipeline=pipeline)
+        calls = pipeline.stage_calls["synthesize"]
+        assert calls == 2  # one per backend
+        compare("sequencer", options, pipeline=pipeline)
+        assert pipeline.stage_calls["synthesize"] == calls  # all cached
+
+    def test_mismatch_detection(self):
+        """A deliberately broken circuit must be flagged, not rubber-stamped."""
+        from repro.api import Spec
+        from repro.api.backends import ComparisonReport, compare as run_compare
+        from repro.boolean.cover import Cover
+
+        pipeline = Pipeline()
+        options = SynthesisOptions(level=5, assume_csc=True)
+        report = run_compare("handshake_seq", options, pipeline=pipeline)
+        assert report.matching
+        # corrupt the cached structural circuit: force the output to constant 0
+        artifact = pipeline.synthesize("handshake_seq", options)
+        impl = artifact.circuit.implementations["ack"]
+        impl.set_cover = Cover.empty(impl.set_cover.variables)
+        impl.uses_latch = False
+        broken = run_compare("handshake_seq", options, pipeline=pipeline)
+        assert isinstance(broken, ComparisonReport)
+        assert not broken.matching
+        assert broken.mismatches
+        # the verdict keys on the mismatch count, not the capped detail list
+        still_broken = run_compare(
+            "handshake_seq", options, pipeline=pipeline, max_mismatches=0
+        )
+        assert not still_broken.matching
+        assert still_broken.mismatches == []

@@ -1,0 +1,121 @@
+"""Tests of the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.stg.writer import write_g
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_registry_benchmarks(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        names = out.split()
+        assert "handshake_seq" in names and "muller_pipeline_4" in names
+
+
+class TestSynthesize:
+    def test_benchmark_by_name(self, capsys):
+        code, out, _ = run_cli(capsys, "synthesize", "handshake_seq", "--level", "5")
+        assert code == 0
+        assert "circuit handshake_seq" in out
+        assert "backend: structural" in out
+
+    def test_json_output(self, capsys):
+        code, out, _ = run_cli(capsys, "synthesize", "sequencer", "--json", "--map")
+        assert code == 0
+        data = json.loads(out)
+        assert data["backend"] == "structural"
+        assert data["synthesize"]["literals"] > 0
+        assert data["map"]["total_area"] > 0
+
+    def test_statebased_backend(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "synthesize", "handshake_seq", "--backend", "statebased", "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["backend"] == "statebased"
+
+    def test_file_input_and_report_output(self, capsys, tmp_path):
+        from repro.benchmarks.classic import load_classic
+
+        spec_path = tmp_path / "spec.g"
+        spec_path.write_text(write_g(load_classic("sequencer")))
+        report_path = tmp_path / "report.json"
+        code, _, _ = run_cli(
+            capsys, "synthesize", str(spec_path), "-o", str(report_path)
+        )
+        assert code == 0
+        data = json.loads(report_path.read_text())
+        assert data["spec"] == "sequencer"  # the .model name wins over the file name
+
+    def test_unknown_spec_is_a_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "synthesize", "no_such_benchmark")
+        assert code == 2
+        assert "error" in err
+
+    def test_malformed_file_is_a_usage_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.g"
+        bad.write_text(".model x\n.end\n")
+        code, _, err = run_cli(capsys, "synthesize", str(bad))
+        assert code == 2
+        assert "malformed" in err
+
+    def test_uncertified_csc_is_a_synthesis_error(self, capsys):
+        code, _, err = run_cli(capsys, "synthesize", "latch_ctrl")
+        assert code == 2
+        assert "CSC" in err
+
+    def test_state_space_limit_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "synthesize",
+            "handshake_seq",
+            "--backend",
+            "statebased",
+            "--max-markings",
+            "2",
+        )
+        assert code == 2
+        assert "state-space limit" in err
+
+
+class TestVerifyAndCompare:
+    def test_verify_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "verify", "sequencer", "--assume-csc")
+        assert code == 0
+        assert "speed independent: True" in out
+
+    def test_compare_matches(self, capsys):
+        """Acceptance criterion: both backends agree on a registry benchmark."""
+        code, out, _ = run_cli(capsys, "compare", "sequencer", "--assume-csc")
+        assert code == 0
+        assert "MATCH" in out
+        assert "checked markings" in out
+
+    def test_compare_json(self, capsys):
+        code, out, _ = run_cli(capsys, "compare", "handshake_seq", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["matching"] is True
+
+
+class TestParser:
+    def test_missing_command_exits_with_usage(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "fig1", "--level", "9"])

@@ -1,0 +1,193 @@
+"""Tests of the staged pipeline: memoisation, sweeps, reports, shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Pipeline, Report, Spec, SynthesisError, SynthesisOptions, run
+from repro.synthesis.engine import prepare_approximation, synthesize
+
+
+class TestStageMemoisation:
+    def test_level_sweep_reuses_the_analysis_artifact(self):
+        """The acceptance criterion: one analyze/refine across M1..M5."""
+        pipeline = Pipeline()
+        spec = Spec.from_benchmark("sequencer")
+        literals = []
+        for level in (1, 2, 3, 4, 5):
+            artifact = pipeline.synthesize(
+                spec, SynthesisOptions(level=level, assume_csc=True)
+            )
+            literals.append(artifact.literals)
+        assert pipeline.stage_calls["analyze"] == 1
+        assert pipeline.stage_calls["refine"] == 1
+        assert pipeline.stage_calls["synthesize"] == 5
+        assert len(literals) == 5
+
+    def test_repeated_calls_hit_the_cache(self):
+        pipeline = Pipeline()
+        first = pipeline.synthesize("handshake_seq", SynthesisOptions(assume_csc=True))
+        second = pipeline.synthesize("handshake_seq", SynthesisOptions(assume_csc=True))
+        assert first is second
+        assert pipeline.stage_calls["synthesize"] == 1
+
+    def test_equivalent_specs_share_cache_entries(self):
+        """The cache keys on the content hash, not on the load path."""
+        pipeline = Pipeline()
+        by_name = Spec.from_benchmark("handshake_seq")
+        by_text = Spec.from_text(by_name.text)
+        options = SynthesisOptions(assume_csc=True)
+        pipeline.synthesize(by_name, options)
+        pipeline.synthesize(by_text, options)
+        assert pipeline.stage_calls["analyze"] == 1
+        assert pipeline.stage_calls["synthesize"] == 1
+
+    def test_cache_disabled(self):
+        pipeline = Pipeline(cache=False)
+        options = SynthesisOptions(assume_csc=True)
+        pipeline.synthesize("handshake_seq", options)
+        pipeline.synthesize("handshake_seq", options)
+        assert pipeline.stage_calls["synthesize"] == 2
+
+    def test_run_without_cache_computes_the_front_end_once(self):
+        """run() reuses the artifacts its circuit was synthesized from."""
+        pipeline = Pipeline(cache=False)
+        report = pipeline.run("handshake_seq", SynthesisOptions(assume_csc=True))
+        assert pipeline.stage_calls["analyze"] == 1
+        assert pipeline.stage_calls["refine"] == 1
+        # and the attached artifacts are the very ones the backend consumed
+        assert report.refinement.approximation is report.synthesis.refinement.approximation
+
+    def test_structural_cache_ignores_max_markings(self):
+        """The structural backend never enumerates: the bound is not a key."""
+        pipeline = Pipeline()
+        options = SynthesisOptions(assume_csc=True)
+        first = pipeline.synthesize("handshake_seq", options)
+        second = pipeline.synthesize("handshake_seq", options, max_markings=50_000)
+        assert first is second
+        assert pipeline.stage_calls["synthesize"] == 1
+
+    def test_cache_info_and_clear(self):
+        pipeline = Pipeline()
+        pipeline.run("handshake_seq", SynthesisOptions(assume_csc=True))
+        info = pipeline.cache_info()
+        assert info["analyze"] == 1 and info["synthesize"] == 1
+        pipeline.clear_cache()
+        assert pipeline.cache_info() == {}
+        assert pipeline.stage_calls == {}
+
+
+class TestStages:
+    def test_analyze_artifact_contents(self):
+        pipeline = Pipeline()
+        artifact = pipeline.analyze("sequencer")
+        assert artifact.consistent
+        assert artifact.places > 0 and artifact.transitions > 0
+        assert artifact.sm_cover_size >= 1
+        assert artifact.approximation is not None
+        data = artifact.to_dict()
+        json.dumps(data)
+        assert data["stage"] == "analyze"
+
+    def test_refine_artifact_contents(self):
+        pipeline = Pipeline()
+        artifact = pipeline.refine("sequencer")
+        assert artifact.csc_certified
+        assert artifact.cubes > 0
+        json.dumps(artifact.to_dict())
+
+    def test_refine_does_not_mutate_the_cached_analysis(self):
+        """analyze() results are call-order independent."""
+        pipeline = Pipeline()
+        spec = Spec.from_benchmark("fig5")  # the cover-refinement example
+        analysis = pipeline.analyze(spec)
+        raw_approximation = analysis.approximation
+        raw_covers = raw_approximation.cover_functions
+        refinement = pipeline.refine(spec)
+        # the analysis artifact keeps the raw approximation untouched
+        assert analysis.approximation is raw_approximation
+        assert analysis.approximation.cover_functions is raw_covers
+        # the refinement carries its own approximation with the new covers
+        assert refinement.approximation is not raw_approximation
+        assert refinement.approximation.cover_functions is not raw_covers
+
+    def test_statebased_assume_csc_skips_only_the_csc_check(self):
+        """latch_ctrl is consistent but violates CSC: assume_csc lets the
+        state-based backend synthesize it while consistency stays checked."""
+        from repro.statebased.synthesis import StateBasedSynthesisError
+
+        pipeline = Pipeline()
+        with pytest.raises(StateBasedSynthesisError, match="CSC"):
+            pipeline.synthesize("latch_ctrl", SynthesisOptions(), backend="statebased")
+        artifact = pipeline.synthesize(
+            "latch_ctrl", SynthesisOptions(assume_csc=True), backend="statebased"
+        )
+        assert artifact.literals > 0
+
+    def test_map_and_verify_stages(self):
+        pipeline = Pipeline()
+        options = SynthesisOptions(level=5, assume_csc=True)
+        mapping = pipeline.map("sequencer", options)
+        assert mapping.total_area > 0
+        verification = pipeline.verify("sequencer", options)
+        assert verification.speed_independent
+        assert verification.checked_markings > 0
+        # synthesize ran once, shared by map and verify
+        assert pipeline.stage_calls["synthesize"] == 1
+
+    def test_run_produces_a_json_serializable_report(self):
+        report = run("sequencer", level=5, map_technology=True, verify=True)
+        assert isinstance(report, Report)
+        assert report.backend == "structural"
+        assert report.literals > 0
+        assert report.speed_independent is True
+        assert report.total_seconds > 0
+        data = report.to_dict()
+        json.dumps(data)
+        assert set(data) >= {"spec", "backend", "level", "synthesize", "analyze"}
+        assert "circuit" not in json.dumps(data)
+
+    def test_statebased_backend_through_run(self):
+        report = run("handshake_seq", backend="statebased", verify=True)
+        assert report.backend == "statebased"
+        assert report.synthesis.markings == 4
+        assert report.analysis is None  # no structural front-end
+        assert report.speed_independent is True
+
+
+class TestErrorPaths:
+    def test_csc_failure_without_assume_csc(self):
+        # latch_ctrl is the classic benchmark with the CSC violation
+        with pytest.raises(SynthesisError, match="CSC"):
+            Pipeline().synthesize("latch_ctrl", SynthesisOptions())
+
+
+class TestLegacyShims:
+    """The historical module-level API keeps working on top of the pipeline."""
+
+    def test_prepare_approximation_stats_shape(self):
+        from repro.benchmarks.classic import load_classic
+
+        stg = load_classic("sequencer")
+        approximation, stats = prepare_approximation(
+            stg, SynthesisOptions(assume_csc=True)
+        )
+        assert approximation.stg is stg
+        assert stats["csc_certified"] is True
+        assert stats["sm_cover"] >= 1
+        assert stats["conflicts_after"] >= 0
+        assert stats["cubes"] > 0
+        assert stats["analysis_seconds"] >= 0
+
+    def test_legacy_synthesize_matches_the_pipeline(self):
+        from repro.benchmarks.classic import load_classic
+
+        stg = load_classic("sequencer")
+        legacy = synthesize(stg, SynthesisOptions(level=5, assume_csc=True))
+        artifact = Pipeline().synthesize(
+            "sequencer", SynthesisOptions(level=5, assume_csc=True)
+        )
+        assert legacy.circuit.literal_count() == artifact.literals
+        assert legacy.literal_count() == artifact.literals

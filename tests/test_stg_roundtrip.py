@@ -1,0 +1,119 @@
+"""Round-trip tests of the ``.g`` text format over the whole registry.
+
+``parse_g ∘ write_g`` must be identity on every registered benchmark: same
+signals (names, roles, initial values), same transitions, same net structure
+up to implicit-place naming, same initial marking.  The canonical text must
+also be a fixed point of another parse/write cycle, which is what the
+:class:`repro.api.Spec` content hash relies on.
+
+The error paths of malformed ``.g`` input must surface as the typed
+:class:`repro.api.SpecError` through the API front door (and as
+:class:`~repro.stg.parser.GFormatError` from the raw parser).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Spec, SpecError
+from repro.benchmarks.registry import get_benchmark, list_benchmarks
+from repro.stg.parser import GFormatError, parse_g
+from repro.stg.writer import write_g
+
+#: the full registry, excluding only the giant scalable instances whose
+#: serialization is large (same code paths as their smaller siblings)
+ROUNDTRIP_NAMES = [
+    name
+    for name in list_benchmarks()
+    if not name.endswith(("_45", "_32"))
+]
+
+
+@pytest.mark.parametrize("name", ROUNDTRIP_NAMES)
+def test_parse_write_round_trip_is_identity(name):
+    original = get_benchmark(name)
+    text = write_g(original)
+    reparsed = parse_g(text, name=original.name)
+
+    # signals: names, roles, initial values
+    assert reparsed.signals == original.signals
+    assert reparsed.initial_values == original.initial_values
+
+    # transitions are preserved exactly (their names are their labels)
+    assert set(reparsed.transitions) == set(original.transitions)
+
+    # net structure: place/arc counts match (implicit places may be renamed)
+    assert reparsed.net.num_places() == original.net.num_places()
+    assert reparsed.net.num_arcs() == original.net.num_arcs()
+
+    # per-transition environment survives up to place renaming: compare the
+    # transition-to-transition adjacency through places
+    def flow(stg):
+        pairs = set()
+        for place in stg.places:
+            for source in stg.net.preset(place):
+                for target in stg.net.postset(place):
+                    pairs.add((source, target))
+        return pairs
+
+    assert flow(reparsed) == flow(original)
+
+    # the marking covers the same transition environments
+    assert (
+        len(reparsed.initial_marking.marked_places)
+        == len(original.initial_marking.marked_places)
+    )
+
+    # canonical text is a fixed point: a second cycle changes nothing
+    assert write_g(reparsed) == text
+
+
+@pytest.mark.parametrize("name", ["handshake_seq", "fig1", "philosophers_3"])
+def test_round_trip_preserves_the_content_hash(name):
+    spec = Spec.from_benchmark(name)
+    assert Spec.from_text(spec.text).content_hash == spec.content_hash
+
+
+MALFORMED_CASES = {
+    "no_graph_section": ".model x\n.inputs a\n.outputs b\n.end\n",
+    "single_node_graph_line": (
+        ".model x\n.inputs a\n.outputs b\n.graph\na+\n.marking { p }\n.end\n"
+    ),
+    "unknown_marked_place": (
+        ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n"
+        ".marking { nowhere }\n.end\n"
+    ),
+    "unknown_implicit_place": (
+        ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n"
+        ".marking { <b+,b-> }\n.end\n"
+    ),
+    "malformed_implicit_token": (
+        ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n"
+        ".marking { <b-,a+,x+> }\n.end\n"
+    ),
+    "missing_marking": (
+        ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.end\n"
+    ),
+    "line_outside_graph": ".model x\nstray tokens here\n.graph\na+ b+\n.end\n",
+}
+
+
+@pytest.mark.parametrize("case", sorted(MALFORMED_CASES))
+def test_malformed_g_raises_gformaterror(case):
+    with pytest.raises(GFormatError):
+        parse_g(MALFORMED_CASES[case])
+
+
+@pytest.mark.parametrize("case", sorted(MALFORMED_CASES))
+def test_malformed_g_surfaces_as_spec_error(case):
+    with pytest.raises(SpecError) as excinfo:
+        Spec.from_text(MALFORMED_CASES[case])
+    # the typed error wraps the parser error and keeps its message
+    assert isinstance(excinfo.value.__cause__, GFormatError)
+
+
+def test_malformed_file_surfaces_as_spec_error(tmp_path):
+    path = tmp_path / "broken.g"
+    path.write_text(MALFORMED_CASES["no_graph_section"])
+    with pytest.raises(SpecError, match="malformed .g file"):
+        Spec.from_file(path)
