@@ -1,0 +1,130 @@
+"""Gate-level back end: mapping construction and event-simulation cost.
+
+PR 3 rewrote the ``map`` stage from an area-summing estimator into a real
+netlist constructor (:mod:`repro.gates`), and added the ``verify_mapped``
+differential leg that event-simulates the mapped netlist on every reachable
+state code.  This bench records what both cost on representative workloads:
+
+* netlist construction (``map_circuit``) across the classic suite plus the
+  scalable families, per library;
+* full gate-level differential verification (reachability enumeration +
+  one ``settle`` per distinct state code) on the latch-heavy cases.
+
+The rows land in ``BENCH_PR3.json`` under ``mapping`` so later PRs can
+track the gate-level flow's cost alongside the synthesis-kernel numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Pipeline, Spec, SynthesisOptions
+from repro.gates import GateLevelSimulator, verify_mapped_netlist
+from repro.synthesis import map_circuit
+
+#: (spec name, synthesis level) for the mapping-construction sweep
+MAP_CASES = (
+    ("sequencer", 5),
+    ("parallelizer", 5),
+    ("rw_port", 5),
+    ("glatch_8", 2),
+    ("muller_pipeline_16", 3),
+    ("independent_cells_20", 3),
+    ("independent_cells_45", 3),
+)
+
+#: specs small enough for exhaustive gate-level differential simulation
+SIMULATE_CASES = (
+    ("glatch_5", 2),
+    ("muller_pipeline_8", 3),
+    ("philosophers_5", 3),
+    ("independent_cells_5", 3),
+)
+
+LIBRARIES = ("generic-cmos", "two-input-only", "latch-free")
+
+
+def _map_all(pipeline: Pipeline, library: str) -> dict[str, dict]:
+    rows: dict[str, dict] = {}
+    for name, level in MAP_CASES:
+        spec = Spec.from_benchmark(name)
+        options = SynthesisOptions(level=level, assume_csc=True)
+        circuit = pipeline.synthesize(spec, options).circuit
+        start = time.perf_counter()
+        mapped = map_circuit(circuit, library)
+        seconds = time.perf_counter() - start
+        rows[name] = {
+            "map_s": round(seconds, 5),
+            "gates": mapped.netlist.num_gates(),
+            "area": mapped.total_area,
+        }
+    return rows
+
+
+def bench_mapping_construction(benchmark, perf_record, print_table):
+    """Netlist construction time per benchmark and library."""
+    pipeline = Pipeline()
+    # warm the synthesis cache so the timing isolates the map stage
+    for name, level in MAP_CASES:
+        pipeline.synthesize(
+            Spec.from_benchmark(name), SynthesisOptions(level=level, assume_csc=True)
+        )
+    per_library = benchmark.pedantic(
+        lambda: {library: _map_all(pipeline, library) for library in LIBRARIES},
+        iterations=1,
+        rounds=1,
+    )
+    rows = []
+    for name, _level in MAP_CASES:
+        row = {"benchmark": name}
+        for library in LIBRARIES:
+            entry = per_library[library][name]
+            row[f"{library}_s"] = entry["map_s"]
+            row[f"{library}_gates"] = entry["gates"]
+        rows.append(row)
+    print_table(rows, title="Gate netlist construction (map stage)")
+    perf_record["results"].setdefault("mapping", {})["construction"] = per_library
+
+
+def bench_gate_level_differential(benchmark, perf_record, print_table):
+    """Event simulation of the mapped netlist over all reachable codes."""
+    pipeline = Pipeline()
+    prepared = []
+    for name, level in SIMULATE_CASES:
+        spec = Spec.from_benchmark(name)
+        options = SynthesisOptions(level=level, assume_csc=True)
+        circuit = pipeline.synthesize(spec, options).circuit
+        netlist = pipeline.map(spec, options).netlist
+        prepared.append((name, spec, circuit, netlist))
+
+    def _verify_all():
+        results = {}
+        for name, spec, circuit, netlist in prepared:
+            start = time.perf_counter()
+            report = verify_mapped_netlist(spec.stg, circuit, netlist)
+            seconds = time.perf_counter() - start
+            assert report.equivalent, (name, report.mismatches[:3])
+            results[name] = {
+                "verify_mapped_s": round(seconds, 5),
+                "codes": report.checked_codes,
+                "markings": report.checked_markings,
+                "gates": netlist.num_gates(),
+            }
+        return results
+
+    results = benchmark.pedantic(_verify_all, iterations=1, rounds=1)
+
+    # per-settle micro cost on the largest case
+    name, spec, circuit, netlist = prepared[-1]
+    simulator = GateLevelSimulator(netlist)
+    code = {s: 0 for s in spec.stg.signal_names}
+    start = time.perf_counter()
+    iterations = 2000
+    for _ in range(iterations):
+        simulator.settle(code)
+    settle_us = (time.perf_counter() - start) / iterations * 1e6
+
+    rows = [dict(benchmark=key, **value) for key, value in results.items()]
+    print_table(rows, title="Gate-level differential verification")
+    perf_record["results"].setdefault("mapping", {})["differential"] = results
+    perf_record["results"]["mapping"]["settle_us_per_call"] = round(settle_us, 2)

@@ -7,10 +7,11 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR2.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR3.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
-recorded the bit-packed kernel; PR2 adds the cached-pipeline sweep of the
-unified API).
+recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
+unified API; PR3 adds gate-netlist construction and gate-level differential
+verification timings from ``bench_mapping.py``).
 """
 
 from __future__ import annotations
@@ -60,17 +61,18 @@ _REQUIRED_SECTIONS = (
     "table7",
     "count_reachable_markings_s",
     "fig13_pipeline",
+    "mapping",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR2.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR3.json on teardown."""
     record: dict = {
-        "pr": 2,
+        "pr": 3,
         "kernel": (
-            "unified repro.api pipeline (staged caching, pluggable backends) "
-            "on the bit-packed compiled kernel"
+            "gate-level netlist back end (repro.gates IR, exporters, event "
+            "simulation) on the unified pipeline and bit-packed kernel"
         ),
         "seed_baseline": SEED_BASELINE,
         "results": {},
@@ -112,4 +114,4 @@ def perf_record(request):
     if pipeline.get("speedup"):
         speedups["fig13_sweep_cached_pipeline"] = pipeline["speedup"]
     record["speedup_vs_seed"] = speedups
-    write_perf_record(repo_root / "BENCH_PR2.json", record)
+    write_perf_record(repo_root / "BENCH_PR3.json", record)

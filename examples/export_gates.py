@@ -1,0 +1,55 @@
+"""Gate-level netlists: mapping, export, simulation, differential check.
+
+The ``map`` stage of the pipeline lowers the behavioural circuit (set/reset
+covers + C-latch semantics) into a typed gate netlist (:mod:`repro.gates`).
+This example maps the Fig. 7 gated-latch benchmark with two different gate
+libraries, exports the netlist in all four formats, and runs the
+gate-level differential verification that checks the mapped gates against
+the behaviour on every reachable state code.
+
+Run with:  python examples/export_gates.py
+
+The same flow is available without Python:
+
+    python -m repro export glatch_3 --level 2 --format verilog
+    python -m repro verify glatch_3 --level 2 --mapped
+"""
+
+from __future__ import annotations
+
+from repro.api import Pipeline, Spec, SynthesisOptions
+from repro.gates import EXPORT_FORMATS, export_netlist
+
+
+def main() -> None:
+    pipeline = Pipeline()
+    spec = Spec.from_benchmark("glatch_3")
+    options = SynthesisOptions(level=2)  # keep the set/reset C-latch
+
+    for library in ("generic-cmos", "two-input-only", "latch-free"):
+        mapping = pipeline.map(spec, options, library=library)
+        stats = mapping.netlist.stats()
+        print(
+            f"{library:15s} {stats['gates']:3d} gates  "
+            f"area {stats['area']:3d}  latches {stats['latches']}  "
+            f"cells {stats['cells']}"
+        )
+    print()
+
+    mapping = pipeline.map(spec, options)
+    for fmt in EXPORT_FORMATS:
+        text = export_netlist(mapping.netlist, fmt)
+        print(f"--- {fmt} ({len(text.splitlines())} lines) ---")
+    print()
+    print(export_netlist(mapping.netlist, "verilog"))
+
+    verdict = pipeline.verify_mapped(spec, options)
+    print(
+        f"mapped netlist equivalent to behaviour: {verdict.equivalent} "
+        f"(checked {verdict.checked_codes} reachable state codes, "
+        f"{verdict.gate_count} gates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,13 +44,17 @@ def main() -> None:
     print(f"content hash: {spec.content_hash[:16]}…")
     print()
 
-    report = run(spec, level=5, map_technology=True, verify=True)
+    report = run(spec, level=5, map_technology=True, verify=True, verify_mapped=True)
     print(report.describe())
     print()
 
     mapping = report.mapping
     for signal, area in sorted(mapping.per_signal_area.items()):
         print(f"  {signal}: {area}  cells: {', '.join(mapping.cells_used[signal])}")
+
+    # the map stage constructs a real gate netlist (see examples/export_gates.py)
+    print()
+    print(report.netlist.describe())
 
 
 if __name__ == "__main__":

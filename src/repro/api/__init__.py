@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.api.artifacts import (
     AnalysisArtifact,
+    MappedVerificationArtifact,
     MappingArtifact,
     RefinementArtifact,
     Report,
@@ -59,6 +60,8 @@ def run(
     assume_csc: bool = False,
     map_technology: bool = False,
     verify: bool = False,
+    verify_mapped: bool = False,
+    library=None,
     max_markings: Optional[int] = None,
     options: Optional[SynthesisOptions] = None,
     pipeline: Optional[Pipeline] = None,
@@ -67,6 +70,9 @@ def run(
 
     ``options`` overrides the individual ``level``/``assume_csc`` knobs;
     pass a ``pipeline`` to share cached artifacts across calls.
+    ``verify_mapped`` differentially checks the mapped gate-level netlist
+    (implies ``map_technology``); ``library`` selects the gate library (a
+    :class:`repro.gates.GateLibrary`, a built-in name, or a JSON path).
     """
     if options is None:
         options = SynthesisOptions(level=level, assume_csc=assume_csc)
@@ -78,6 +84,8 @@ def run(
         backend=backend,
         map_technology=map_technology,
         verify=verify,
+        verify_mapped=verify_mapped,
+        library=library,
         max_markings=max_markings,
     )
 
@@ -87,6 +95,7 @@ __all__ = [
     "Backend",
     "BACKEND_NAMES",
     "ComparisonReport",
+    "MappedVerificationArtifact",
     "MappingArtifact",
     "Pipeline",
     "RefinementArtifact",

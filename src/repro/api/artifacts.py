@@ -151,7 +151,12 @@ class SynthesisArtifact:
 
 @dataclass
 class MappingArtifact:
-    """Stage ``map``: technology mapping onto the gate library."""
+    """Stage ``map``: technology mapping onto the gate library.
+
+    Besides the area report, the artifact carries the constructed
+    gate-level netlist (:class:`repro.gates.ir.GateNetlist`) — the input of
+    the exporters and of the ``verify_mapped`` stage.
+    """
 
     spec_name: str
     spec_hash: str
@@ -159,7 +164,13 @@ class MappingArtifact:
     per_signal_area: dict[str, int]
     cells_used: dict[str, list[str]]
     seconds: float
+    library: str = ""
+    gate_count: int = 0
+    net_count: int = 0
+    latch_count: int = 0
     mapped: object = field(default=None, repr=False, compare=False)
+    #: the typed gate-graph IR (repro.gates.ir.GateNetlist)
+    netlist: object = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
         return _clean(
@@ -167,7 +178,11 @@ class MappingArtifact:
                 "stage": "map",
                 "spec": self.spec_name,
                 "spec_hash": self.spec_hash,
+                "library": self.library,
                 "total_area": self.total_area,
+                "gates": self.gate_count,
+                "nets": self.net_count,
+                "latches": self.latch_count,
                 "per_signal_area": self.per_signal_area,
                 "cells_used": self.cells_used,
                 "seconds": round(self.seconds, 6),
@@ -206,6 +221,45 @@ class VerificationArtifact:
 
 
 @dataclass
+class MappedVerificationArtifact:
+    """Stage ``verify_mapped``: gate-level differential verification.
+
+    The settled outputs of the mapped netlist's event simulation are
+    compared with :meth:`Circuit.next_values` over every distinct reachable
+    state code of the specification.
+    """
+
+    spec_name: str
+    spec_hash: str
+    equivalent: bool
+    checked_codes: int
+    checked_markings: int
+    gate_count: int
+    library: str
+    mismatches: list[str]
+    seconds: float
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def to_dict(self) -> dict:
+        return _clean(
+            {
+                "stage": "verify_mapped",
+                "spec": self.spec_name,
+                "spec_hash": self.spec_hash,
+                "equivalent": self.equivalent,
+                "checked_codes": self.checked_codes,
+                "checked_markings": self.checked_markings,
+                "gates": self.gate_count,
+                "library": self.library,
+                "mismatches": self.mismatches,
+                "seconds": round(self.seconds, 6),
+            }
+        )
+
+
+@dataclass
 class Report:
     """The typed result of one spec-to-circuit run.
 
@@ -223,6 +277,7 @@ class Report:
     refinement: Optional[RefinementArtifact] = None
     mapping: Optional[MappingArtifact] = None
     verification: Optional[VerificationArtifact] = None
+    mapped_verification: Optional[MappedVerificationArtifact] = None
 
     # ------------------------------------------------------------------ #
     # Convenience accessors
@@ -237,6 +292,13 @@ class Report:
         return self.synthesis.literals
 
     @property
+    def netlist(self):
+        """The mapped gate-level netlist, when the ``map`` stage ran."""
+        if self.mapping is None:
+            return None
+        return self.mapping.netlist
+
+    @property
     def total_seconds(self) -> float:
         return sum(
             stage.seconds
@@ -246,6 +308,7 @@ class Report:
                 self.synthesis,
                 self.mapping,
                 self.verification,
+                self.mapped_verification,
             )
             if stage is not None
         )
@@ -270,6 +333,7 @@ class Report:
             ("refine", self.refinement),
             ("map", self.mapping),
             ("verify", self.verification),
+            ("verify_mapped", self.mapped_verification),
         ):
             if stage is not None:
                 data[key] = stage.to_dict()
@@ -285,7 +349,16 @@ class Report:
             f"total: {self.total_seconds:.3f}s"
         )
         if self.mapping is not None:
-            lines.append(f"mapped area: {self.mapping.total_area}")
+            lines.append(
+                f"mapped area: {self.mapping.total_area} "
+                f"({self.mapping.gate_count} gates, library "
+                f"{self.mapping.library or 'generic-cmos'})"
+            )
+        if self.mapped_verification is not None:
+            lines.append(
+                f"mapped netlist equivalent: {self.mapped_verification.equivalent} "
+                f"(checked {self.mapped_verification.checked_codes} state codes)"
+            )
         if self.verification is not None:
             lines.append(
                 f"speed independent: {self.verification.speed_independent} "

@@ -5,14 +5,19 @@ Drives the unified pipeline without writing Python::
     python -m repro list
     python -m repro synthesize handshake_seq --level 5 --map --verify
     python -m repro synthesize path/to/spec.g --backend statebased --json
-    python -m repro verify muller_pipeline_4
+    python -m repro verify muller_pipeline_4 --mapped
+    python -m repro export sequencer --format verilog
+    python -m repro export sequencer --format blif --lib two-input-only -o out.blif
     python -m repro compare sequencer --level 3
     python -m repro bench fig13 --json
 
-``synthesize``/``verify``/``compare`` accept any spec source the API
-accepts: a registry benchmark name or a ``.g`` file path.  Exit status is 0
-on success, 1 when a check fails (verification/comparison mismatch), and 2
-on bad input (unknown spec, malformed ``.g``, unsynthesizable STG).
+``synthesize``/``verify``/``export``/``compare`` accept any spec source the
+API accepts: a registry benchmark name or a ``.g`` file path.  ``export``
+renders the mapped gate-level netlist in one of the four interchange
+formats (``verilog``/``blif``/``json``/``eqn``); ``--lib`` selects a
+built-in gate library or a library JSON file.  Exit status is 0 on success,
+1 when a check fails (verification/comparison mismatch), and 2 on bad input
+(unknown spec, malformed ``.g``, unsynthesizable STG, unknown library).
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from typing import Optional
 from repro.api.backends import BACKEND_NAMES, compare
 from repro.api.pipeline import Pipeline
 from repro.api.spec import Spec, SpecError
+from repro.gates.exporters import EXPORT_FORMATS, export_netlist
+from repro.gates.ir import NetlistError
 from repro.petri.reachability import StateSpaceLimitExceeded
 from repro.statebased.synthesis import StateBasedSynthesisError
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
@@ -74,6 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--map", action="store_true", help="run technology mapping")
     synth.add_argument("--verify", action="store_true", help="verify speed independence")
     synth.add_argument(
+        "--verify-mapped",
+        action="store_true",
+        help="differentially verify the mapped gate-level netlist",
+    )
+    synth.add_argument(
+        "--lib",
+        default=None,
+        help="gate library: built-in name or JSON file (default generic-cmos)",
+    )
+    synth.add_argument(
         "-o", "--output", default=None, help="write the report JSON to a file"
     )
 
@@ -81,6 +98,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_spec_options(verify)
     verify.add_argument(
         "--backend", default="structural", choices=BACKEND_NAMES
+    )
+    verify.add_argument(
+        "--mapped",
+        action="store_true",
+        help="also differentially verify the mapped gate-level netlist",
+    )
+    verify.add_argument(
+        "--lib",
+        default=None,
+        help="gate library for --mapped (built-in name or JSON file)",
+    )
+
+    export = sub.add_parser(
+        "export", help="map a spec and export the gate-level netlist"
+    )
+    _add_spec_options(export)
+    export.add_argument(
+        "--backend", default="structural", choices=BACKEND_NAMES
+    )
+    export.add_argument(
+        "--format",
+        dest="fmt",
+        default="verilog",
+        choices=EXPORT_FORMATS,
+        help="output format (default verilog)",
+    )
+    export.add_argument(
+        "--lib",
+        default=None,
+        help="gate library: built-in name or JSON file (default generic-cmos)",
+    )
+    export.add_argument(
+        "-o", "--output", default=None, help="write the netlist to a file"
     )
 
     comp = sub.add_parser(
@@ -113,6 +163,8 @@ def _cmd_synthesize(args) -> int:
         backend=args.backend,
         map_technology=args.map,
         verify=args.verify,
+        verify_mapped=args.verify_mapped,
+        library=args.lib,
         max_markings=args.max_markings,
     )
     if args.output:
@@ -121,6 +173,8 @@ def _cmd_synthesize(args) -> int:
             handle.write("\n")
     _emit(report.to_dict(), args.json, report.describe())
     if args.verify and not report.verification.speed_independent:
+        return 1
+    if args.verify_mapped and not report.mapped_verification.equivalent:
         return 1
     return 0
 
@@ -141,8 +195,49 @@ def _cmd_verify(args) -> int:
             f"\n  functional errors: {len(verification.functional_errors)}"
             f"\n  hazard errors: {len(verification.hazard_errors)}"
         )
-    _emit(verification.to_dict(), args.json, text)
-    return 0 if verification.speed_independent else 1
+    data = verification.to_dict()
+    ok = verification.speed_independent
+    if args.mapped:
+        mapped = pipeline.verify_mapped(
+            spec,
+            options,
+            backend=args.backend,
+            library=args.lib,
+            max_markings=args.max_markings,
+        )
+        text += (
+            f"\n{spec.name}: mapped netlist equivalent: {mapped.equivalent} "
+            f"(checked {mapped.checked_codes} state codes, "
+            f"{mapped.gate_count} gates)"
+        )
+        data = {"verify": data, "verify_mapped": mapped.to_dict()}
+        ok = ok and mapped.equivalent
+    _emit(data, args.json, text)
+    return 0 if ok else 1
+
+
+def _cmd_export(args) -> int:
+    spec = Spec.load(args.spec)
+    options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    mapping = Pipeline().map(
+        spec,
+        options,
+        backend=args.backend,
+        library=args.lib,
+        max_markings=args.max_markings,
+    )
+    text = export_netlist(mapping.netlist, args.fmt)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"{spec.name}: wrote {args.fmt} netlist "
+            f"({mapping.gate_count} gates, area {mapping.total_area}) "
+            f"to {args.output}"
+        )
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -212,6 +307,7 @@ def _cmd_list(args) -> int:
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "verify": _cmd_verify,
+    "export": _cmd_export,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
     "list": _cmd_list,
@@ -228,6 +324,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
     except (SynthesisError, StateBasedSynthesisError) as error:
         print(f"synthesis error: {error}", file=sys.stderr)
+        return 2
+    except NetlistError as error:
+        print(f"netlist error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # unknown library name / unreadable or malformed library file
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        raise  # closed stdout (e.g. piping into head) is not a CLI error
+    except OSError as error:
+        # unwritable -o target and similar filesystem failures
+        print(f"error: {error}", file=sys.stderr)
         return 2
     except StateSpaceLimitExceeded as error:
         print(f"state-space limit exceeded: {error}", file=sys.stderr)

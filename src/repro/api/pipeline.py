@@ -13,8 +13,11 @@ stages::
 * ``synthesize`` — circuit generation by a pluggable backend
   (:mod:`repro.api.backends`): the structural engine at one of the
   minimization levels M1..M5, or the exhaustive state-based baseline;
-* ``map``        — technology mapping onto the gate library (Appendix F);
-* ``verify``     — state-based speed-independence verification.
+* ``map``        — technology mapping onto the gate library (Appendix F):
+  constructs the typed gate-level netlist (:mod:`repro.gates`);
+* ``verify``     — state-based speed-independence verification, with an
+  optional ``verify_mapped`` leg that differentially checks the mapped
+  netlist's gate-level simulation against the behavioural circuit.
 
 Every stage memoises its artifact keyed on the spec's content hash plus the
 options that influence it.  The key design point is that the *analysis* key
@@ -40,6 +43,7 @@ from typing import Optional, Union
 
 from repro.api.artifacts import (
     AnalysisArtifact,
+    MappedVerificationArtifact,
     MappingArtifact,
     Report,
     SynthesisArtifact,
@@ -47,6 +51,8 @@ from repro.api.artifacts import (
     RefinementArtifact,
 )
 from repro.api.spec import Spec, SpecLike
+from repro.gates.library import get_library
+from repro.gates.verify import verify_mapped_netlist
 from repro.petri.smcover import compute_sm_components, compute_sm_cover
 from repro.structural.approximation import approximate_signal_regions
 from repro.structural.concurrency import compute_concurrency_relation
@@ -82,6 +88,7 @@ def _library_key(library: Optional[GateLibrary]) -> Optional[tuple]:
         library.name,
         library.latch_area,
         library.or2_area,
+        library.allow_latch,
         tuple(
             (
                 cell.name,
@@ -103,7 +110,7 @@ class Pipeline:
     Create with ``cache=False`` for always-fresh computation.
     """
 
-    STAGES = ("analyze", "refine", "synthesize", "map", "verify")
+    STAGES = ("analyze", "refine", "synthesize", "map", "verify", "verify_mapped")
 
     def __init__(self, cache: bool = True):
         self._cache: Optional[dict] = {} if cache else None
@@ -287,12 +294,19 @@ class Pipeline:
         spec: SpecLike,
         options: Optional[SynthesisOptions] = None,
         backend: Union[str, "object"] = "structural",
-        library: Optional[GateLibrary] = None,
+        library: Union[GateLibrary, str, None] = None,
         max_markings: Optional[int] = None,
     ) -> MappingArtifact:
-        """Map the synthesized circuit onto the gate library."""
+        """Map the synthesized circuit onto the gate library.
+
+        ``library`` accepts a :class:`GateLibrary`, a built-in name
+        (``generic-cmos``, ``two-input-only``, ``latch-free``) or a path to
+        a library JSON file.  The artifact carries the constructed
+        :class:`~repro.gates.ir.GateNetlist`.
+        """
         spec = Spec.load(spec)
         options = options or SynthesisOptions()
+        library = get_library(library) if library is not None else None
         synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
         if synthesis.backend == "structural":
             max_markings = None
@@ -309,6 +323,7 @@ class Pipeline:
             self.stage_calls["map"] += 1
             start = time.perf_counter()
             mapped = map_circuit(synthesis.circuit, library)
+            netlist = mapped.netlist
             return MappingArtifact(
                 spec_name=spec.name,
                 spec_hash=spec.content_hash,
@@ -316,7 +331,12 @@ class Pipeline:
                 per_signal_area=dict(mapped.per_signal_area),
                 cells_used={s: list(c) for s, c in mapped.cells_used.items()},
                 seconds=time.perf_counter() - start,
+                library=mapped.library.name,
+                gate_count=netlist.num_gates(),
+                net_count=netlist.num_nets(),
+                latch_count=netlist.num_latches(),
                 mapped=mapped,
+                netlist=netlist,
             )
 
         return self._memo(key, compute)
@@ -363,6 +383,67 @@ class Pipeline:
         return self._memo(key, compute)
 
     # ------------------------------------------------------------------ #
+    # Stage: verify_mapped
+    # ------------------------------------------------------------------ #
+
+    def verify_mapped(
+        self,
+        spec: SpecLike,
+        options: Optional[SynthesisOptions] = None,
+        backend: Union[str, "object"] = "structural",
+        library: Union[GateLibrary, str, None] = None,
+        max_markings: Optional[int] = None,
+    ) -> MappedVerificationArtifact:
+        """Differentially verify the mapped netlist against the behaviour.
+
+        The gate-level event simulation of the ``map`` stage's netlist is
+        compared with ``Circuit.next_values`` over every distinct reachable
+        state code of the specification.
+        """
+        spec = Spec.load(spec)
+        options = options or SynthesisOptions()
+        library = get_library(library) if library is not None else None
+        synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
+        mapping = self.map(
+            spec, options, backend=backend, library=library, max_markings=max_markings
+        )
+        # unlike `verify`, the bound stays in the key even for the structural
+        # backend: the differential check itself enumerates the state space,
+        # so a bounded and an unbounded call are different computations
+        state_bound = max_markings
+        key = (
+            "verify_mapped",
+            spec.content_hash,
+            synthesis.backend,
+            _options_key(options),
+            state_bound,
+            _library_key(library),
+        )
+
+        def compute() -> MappedVerificationArtifact:
+            self.stage_calls["verify_mapped"] += 1
+            start = time.perf_counter()
+            report = verify_mapped_netlist(
+                spec.stg,
+                synthesis.circuit,
+                mapping.netlist,
+                max_markings=state_bound,
+            )
+            return MappedVerificationArtifact(
+                spec_name=spec.name,
+                spec_hash=spec.content_hash,
+                equivalent=report.equivalent,
+                checked_codes=report.checked_codes,
+                checked_markings=report.checked_markings,
+                gate_count=mapping.gate_count,
+                library=mapping.library,
+                mismatches=list(report.mismatches),
+                seconds=time.perf_counter() - start,
+            )
+
+        return self._memo(key, compute)
+
+    # ------------------------------------------------------------------ #
     # Full run
     # ------------------------------------------------------------------ #
 
@@ -373,9 +454,16 @@ class Pipeline:
         backend: Union[str, "object"] = "structural",
         map_technology: bool = False,
         verify: bool = False,
+        verify_mapped: bool = False,
+        library: Union[GateLibrary, str, None] = None,
         max_markings: Optional[int] = None,
     ) -> Report:
-        """Run the full pipeline and return a typed :class:`Report`."""
+        """Run the full pipeline and return a typed :class:`Report`.
+
+        ``verify_mapped`` adds the gate-level differential leg of the verify
+        stage (and implies ``map_technology``); ``library`` selects the gate
+        library for both the ``map`` and ``verify_mapped`` stages.
+        """
         spec = Spec.load(spec)
         options = options or SynthesisOptions()
         synthesis = self.synthesize(spec, options, backend=backend, max_markings=max_markings)
@@ -390,11 +478,18 @@ class Pipeline:
             if analysis is None:
                 analysis = self.analyze(spec, options)
         mapping = None
-        if map_technology:
-            mapping = self.map(spec, options, backend=backend, max_markings=max_markings)
+        if map_technology or verify_mapped:
+            mapping = self.map(
+                spec, options, backend=backend, library=library, max_markings=max_markings
+            )
         verification = None
         if verify:
             verification = self.verify(spec, options, backend=backend, max_markings=max_markings)
+        mapped_verification = None
+        if verify_mapped:
+            mapped_verification = self.verify_mapped(
+                spec, options, backend=backend, library=library, max_markings=max_markings
+            )
         return Report(
             spec_name=spec.name,
             spec_hash=spec.content_hash,
@@ -405,4 +500,5 @@ class Pipeline:
             refinement=refinement,
             mapping=mapping,
             verification=verification,
+            mapped_verification=mapped_verification,
         )

@@ -1,0 +1,75 @@
+"""Gate-level netlist subsystem: IR, libraries, exporters, simulation.
+
+This package is the structural back half of the synthesis flow.  The
+behavioural :class:`~repro.synthesis.netlist.Circuit` (set/reset covers with
+C-latch hold semantics) is lowered by the technology mapper
+(:func:`repro.synthesis.mapping.map_circuit`) into a typed gate graph, and
+everything downstream of mapping lives here:
+
+* :mod:`repro.gates.ir`        — :class:`GateNetlist` / :class:`GateInstance`
+  / :class:`Net`, the typed gate-graph IR with validation, topological
+  ordering and a lossless JSON form;
+* :mod:`repro.gates.library`   — :class:`GateLibrary` cells, deterministic
+  Boolean matching, cover plans, JSON (de)serialization and the built-in
+  libraries ``generic-cmos`` / ``two-input-only`` / ``latch-free``;
+* :mod:`repro.gates.exporters` — ``verilog`` / ``blif`` / ``json`` / ``eqn``
+  emitters plus their readers and syntax validators;
+* :mod:`repro.gates.simulate`  — the gate-level event simulator;
+* :mod:`repro.gates.verify`    — the differential check of the mapped
+  netlist against the behavioural circuit over every reachable state.
+"""
+
+from repro.gates.exporters import (
+    EXPORT_FORMATS,
+    ExportSyntaxError,
+    export_netlist,
+    parse_blif,
+    parse_eqn,
+    to_blif,
+    to_eqn,
+    to_json,
+    to_verilog,
+    validate_verilog,
+)
+from repro.gates.ir import GateInstance, GateKind, GateNetlist, Net, NetlistError
+from repro.gates.library import (
+    BUILTIN_LIBRARIES,
+    GateLibrary,
+    LibraryCell,
+    default_library,
+    get_library,
+    latch_free_library,
+    two_input_library,
+)
+from repro.gates.simulate import GateLevelSimulator, SimulationError, simulate_settled
+from repro.gates.verify import MappedVerificationReport, verify_mapped_netlist
+
+__all__ = [
+    "BUILTIN_LIBRARIES",
+    "EXPORT_FORMATS",
+    "ExportSyntaxError",
+    "GateInstance",
+    "GateKind",
+    "GateLevelSimulator",
+    "GateLibrary",
+    "GateNetlist",
+    "LibraryCell",
+    "MappedVerificationReport",
+    "Net",
+    "NetlistError",
+    "SimulationError",
+    "default_library",
+    "export_netlist",
+    "get_library",
+    "latch_free_library",
+    "parse_blif",
+    "parse_eqn",
+    "simulate_settled",
+    "to_blif",
+    "to_eqn",
+    "to_json",
+    "to_verilog",
+    "two_input_library",
+    "validate_verilog",
+    "verify_mapped_netlist",
+]

@@ -1,0 +1,464 @@
+"""Pluggable exporters for gate-level netlists.
+
+Four interchange formats are supported, each paired with a reader or
+syntax validator so round-trips can be checked in tests and CI:
+
+* ``verilog`` — structural Verilog (1995-style port declarations, SOP
+  ``assign`` statements, ``always @*`` latch processes); validated by
+  :func:`validate_verilog`;
+* ``blif``    — Berkeley Logic Interchange Format with one ``.names``
+  table per gate (latches use the classic asynchronous feedback table);
+  read back by :func:`parse_blif`;
+* ``json``    — the IR's own lossless document
+  (:meth:`~repro.gates.ir.GateNetlist.to_json`), read back by
+  :meth:`~repro.gates.ir.GateNetlist.from_json`;
+* ``eqn``     — Synopsys/ABC-style equation format (latches appear as
+  their combinational feedback expansion ``q = set + q*!reset``); read
+  back by :func:`parse_eqn`.
+
+Use :func:`export_netlist` for name-based dispatch (the CLI's
+``repro export --format`` backend).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable
+
+from repro.gates.ir import GateInstance, GateKind, GateNetlist
+
+
+class ExportSyntaxError(ValueError):
+    """Raised by the format validators on malformed emitted text."""
+
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _identifier_map(netlist: GateNetlist) -> dict[str, str]:
+    """Deterministic net-name to legal-identifier mapping (collision safe)."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for name in sorted(netlist.nets):
+        candidate = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+        if not candidate or not re.match(r"[A-Za-z_]", candidate):
+            candidate = "n_" + candidate
+        base = candidate
+        suffix = 2
+        while candidate in used:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        used.add(candidate)
+        mapping[name] = candidate
+    return mapping
+
+
+def _module_name(name: str) -> str:
+    candidate = re.sub(r"[^A-Za-z0-9_$]", "_", name) or "netlist"
+    if not re.match(r"[A-Za-z_]", candidate):
+        candidate = "m_" + candidate
+    return candidate
+
+
+# ---------------------------------------------------------------------- #
+# Verilog
+# ---------------------------------------------------------------------- #
+
+
+def _verilog_sop(gate: GateInstance, ids: dict[str, str]) -> str:
+    if not gate.terms:
+        return "1'b0"
+    products: list[str] = []
+    for term in gate.terms:
+        if not term:
+            return "1'b1"
+        literals = [
+            (ids[gate.inputs[pin]] if polarity else f"~{ids[gate.inputs[pin]]}")
+            for pin, polarity in term
+        ]
+        products.append(" & ".join(literals) if len(literals) > 1 else literals[0])
+    if len(products) == 1:
+        return products[0]
+    return " | ".join(f"({product})" for product in products)
+
+
+def to_verilog(netlist: GateNetlist) -> str:
+    """Structural Verilog of the netlist."""
+    ids = _identifier_map(netlist)
+    ports = [ids[name] for name in list(netlist.inputs) + list(netlist.outputs)]
+    latch_outputs = {
+        gate.output for gate in netlist.gates if gate.kind.is_latch
+    }
+    lines = [
+        f"// gate-level netlist {netlist.name}"
+        + (f" (library {netlist.library})" if netlist.library else ""),
+        f"module {_module_name(netlist.name)} ({', '.join(ports)});",
+    ]
+    for name in netlist.inputs:
+        lines.append(f"  input {ids[name]};")
+    for name in netlist.outputs:
+        lines.append(f"  output {ids[name]};")
+    for name in sorted(netlist.nets):
+        if name in netlist.inputs or name in netlist.outputs:
+            continue
+        lines.append(f"  wire {ids[name]};")
+    for name in sorted(latch_outputs):
+        lines.append(f"  reg {ids[name]};")
+    lines.append("")
+    for gate in netlist.gates:
+        out = ids[gate.output]
+        if gate.kind is GateKind.SOP:
+            lines.append(f"  assign {out} = {_verilog_sop(gate, ids)};  // {gate.cell}")
+        elif gate.kind is GateKind.C_LATCH:
+            set_net, reset_net = (ids[net] for net in gate.inputs)
+            lines.append(f"  always @* begin  // {gate.name}: c-latch")
+            lines.append(f"    if ({set_net} & ~{reset_net}) {out} = 1'b1;")
+            lines.append(f"    else if ({reset_net} & ~{set_net}) {out} = 1'b0;")
+            lines.append("  end")
+        else:  # gated latch
+            enable, data = (ids[net] for net in gate.inputs)
+            polarity = gate.terms[0][0][1]
+            expression = data if polarity else f"~{data}"
+            lines.append(f"  always @* begin  // {gate.name}: gated latch")
+            lines.append(f"    if ({enable}) {out} = {expression};")
+            lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_V_DECL_RE = re.compile(r"^\s*(input|output|wire|reg)\s+(.+?);\s*$")
+_V_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_V_KEYWORDS = {"assign", "always", "begin", "end", "if", "else", "module", "endmodule"}
+
+
+def validate_verilog(text: str) -> None:
+    """Light structural well-formedness check of emitted Verilog.
+
+    Verifies module/endmodule pairing, that every referenced identifier is
+    declared (port, wire or reg), that assignment targets are not inputs,
+    and that parentheses balance per statement.  Raises
+    :class:`ExportSyntaxError` on the first problem found.
+    """
+    declared: set[str] = set()
+    inputs: set[str] = set()
+    body: list[str] = []
+    module_count = endmodule_count = 0
+    for line in text.splitlines():
+        stripped = line.split("//", 1)[0].strip()
+        if not stripped:
+            continue
+        if re.match(r"^module\b", stripped):
+            module_count += 1
+            continue
+        if stripped == "endmodule":
+            endmodule_count += 1
+            continue
+        match = _V_DECL_RE.match(stripped)
+        if match:
+            kind, names = match.groups()
+            for name in names.split(","):
+                name = name.strip()
+                if not _IDENT_RE.match(name):
+                    raise ExportSyntaxError(f"bad {kind} declaration {name!r}")
+                declared.add(name)
+                if kind == "input":
+                    inputs.add(name)
+            continue
+        body.append(stripped)
+    if module_count == 0 or module_count != endmodule_count:
+        raise ExportSyntaxError("unbalanced module/endmodule")
+    for statement in body:
+        if statement.count("(") != statement.count(")"):
+            raise ExportSyntaxError(f"unbalanced parentheses in {statement!r}")
+        cleaned = re.sub(r"\d+'b[01]+", " ", statement)
+        for identifier in _V_ID_RE.findall(cleaned):
+            if identifier in _V_KEYWORDS:
+                continue
+            if identifier not in declared:
+                raise ExportSyntaxError(f"undeclared identifier {identifier!r}")
+        assign = re.match(r"^assign\s+([A-Za-z_][A-Za-z0-9_$]*)\s*=", statement)
+        if assign and assign.group(1) in inputs:
+            raise ExportSyntaxError(f"assignment drives input {assign.group(1)!r}")
+
+
+# ---------------------------------------------------------------------- #
+# BLIF
+# ---------------------------------------------------------------------- #
+
+
+def _blif_rows(gate: GateInstance) -> list[str]:
+    """PLA rows of one gate's ``.names`` table."""
+    width = len(gate.inputs)
+    if gate.kind is GateKind.C_LATCH:
+        # inputs: set, reset, q (feedback); asynchronous hold table
+        return ["10- 1", "-01 1", "1-1 1"]
+    if gate.kind is GateKind.GATED_LATCH:
+        polarity = gate.terms[0][0][1]
+        return [f"1{polarity}- 1", "0-1 1"]
+    rows: list[str] = []
+    for term in gate.terms:
+        if not term:
+            rows.append("1" * width + " 1" if width else "1")
+            continue
+        chars = ["-"] * width
+        for pin, polarity in term:
+            chars[pin] = str(polarity)
+        rows.append("".join(chars) + " 1")
+    if not gate.terms and width == 0:
+        return []  # constant 0: .names with no rows
+    return rows
+
+
+def to_blif(netlist: GateNetlist) -> str:
+    """BLIF description with one ``.names`` table per gate."""
+    lines = [
+        f"# gate-level netlist {netlist.name}"
+        + (f" (library {netlist.library})" if netlist.library else ""),
+        f".model {_module_name(netlist.name)}",
+        f".inputs {' '.join(netlist.inputs)}",
+        f".outputs {' '.join(netlist.outputs)}",
+    ]
+    for gate in netlist.gates:
+        lines.append(f"# {gate.name}: {gate.cell}")
+        if gate.kind is GateKind.SOP:
+            signature = list(gate.inputs)
+            if not gate.terms:
+                signature = []  # constant 0
+            elif any(not term for term in gate.terms):
+                signature = []  # constant 1
+                lines.append(f".names {gate.output}")
+                lines.append("1")
+                continue
+            lines.append(f".names {' '.join(signature + [gate.output])}".rstrip())
+            rows = _blif_rows(gate) if gate.terms else []
+            lines.extend(rows)
+        else:
+            feedback = list(gate.inputs) + [gate.output]
+            lines.append(f".names {' '.join(feedback + [gate.output])}")
+            lines.extend(_blif_rows(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_blif(text: str) -> dict:
+    """Parse (and validate) a BLIF document emitted by :func:`to_blif`.
+
+    Returns ``{"model", "inputs", "outputs", "names": [(inputs, output,
+    rows), ...]}``.  Raises :class:`ExportSyntaxError` on malformed input:
+    missing sections, inconsistent row widths, rows with invalid characters,
+    or tables reading undefined nets.
+    """
+    model = None
+    inputs: list[str] = []
+    outputs: list[str] = []
+    names: list[tuple[list[str], str, list[str]]] = []
+    current: tuple[list[str], str, list[str]] | None = None
+    ended = False
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ended:
+            raise ExportSyntaxError("content after .end")
+        if line.startswith(".model"):
+            if model is not None:
+                raise ExportSyntaxError("duplicate .model")
+            model = line.split(maxsplit=1)[1].strip() if " " in line else ""
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            tokens = line.split()[1:]
+            if not tokens:
+                raise ExportSyntaxError(".names with no signals")
+            current = (tokens[:-1], tokens[-1], [])
+            names.append(current)
+        elif line == ".end":
+            ended = True
+        elif line.startswith("."):
+            raise ExportSyntaxError(f"unsupported BLIF construct {line.split()[0]!r}")
+        else:
+            if current is None:
+                raise ExportSyntaxError(f"cover row outside .names: {line!r}")
+            current[2].append(line)
+    if model is None:
+        raise ExportSyntaxError("missing .model")
+    if not ended:
+        raise ExportSyntaxError("missing .end")
+    defined = set(inputs) | {output for _, output, _ in names}
+    for table_inputs, output, rows in names:
+        for net in table_inputs:
+            # latch feedback makes a table its own input; any table output
+            # or primary input is a legal source
+            if net not in defined:
+                raise ExportSyntaxError(f".names reads undefined net {net!r}")
+        for row in rows:
+            parts = row.split()
+            if table_inputs:
+                if len(parts) != 2 or len(parts[0]) != len(table_inputs):
+                    raise ExportSyntaxError(
+                        f"row {row!r} does not match {len(table_inputs)} inputs"
+                    )
+                pattern, value = parts
+            else:
+                if len(parts) != 1:
+                    raise ExportSyntaxError(f"bad constant row {row!r}")
+                pattern, value = "", parts[0]
+            if set(pattern) - set("01-"):
+                raise ExportSyntaxError(f"invalid cover characters in {row!r}")
+            if value not in ("0", "1"):
+                raise ExportSyntaxError(f"invalid output value in {row!r}")
+    for net in outputs:
+        if net not in defined:
+            raise ExportSyntaxError(f"output {net!r} is never defined")
+    return {"model": model, "inputs": inputs, "outputs": outputs, "names": names}
+
+
+# ---------------------------------------------------------------------- #
+# JSON
+# ---------------------------------------------------------------------- #
+
+
+def to_json(netlist: GateNetlist) -> str:
+    """The IR's lossless JSON document (reader:
+    :meth:`~repro.gates.ir.GateNetlist.from_json`)."""
+    return json.dumps(netlist.to_json(), indent=2, sort_keys=False) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# EQN
+# ---------------------------------------------------------------------- #
+
+
+def _eqn_sop(gate: GateInstance, ids: dict[str, str]) -> str:
+    if not gate.terms:
+        return "0"
+    products: list[str] = []
+    for term in gate.terms:
+        if not term:
+            return "1"
+        literals = [
+            (ids[gate.inputs[pin]] if polarity else f"!{ids[gate.inputs[pin]]}")
+            for pin, polarity in term
+        ]
+        products.append(" * ".join(literals))
+    return " + ".join(products)
+
+
+def to_eqn(netlist: GateNetlist) -> str:
+    """Equation-format description (latches as combinational feedback)."""
+    ids = _identifier_map(netlist)
+    lines = [
+        f"# gate-level netlist {netlist.name}"
+        + (f" (library {netlist.library})" if netlist.library else ""),
+        f"INORDER = {' '.join(ids[name] for name in netlist.inputs)};",
+        f"OUTORDER = {' '.join(ids[name] for name in netlist.outputs)};",
+    ]
+    for gate in netlist.gates:
+        out = ids[gate.output]
+        if gate.kind is GateKind.SOP:
+            lines.append(f"{out} = {_eqn_sop(gate, ids)};")
+        elif gate.kind is GateKind.C_LATCH:
+            set_net, reset_net = (ids[net] for net in gate.inputs)
+            lines.append(
+                f"{out} = {set_net} + {out} * !{reset_net};  # c-latch feedback"
+            )
+        else:
+            enable, data = (ids[net] for net in gate.inputs)
+            polarity = gate.terms[0][0][1]
+            literal = data if polarity else f"!{data}"
+            lines.append(
+                f"{out} = {enable} * {literal} + {out} * !{enable};"
+                "  # gated-latch feedback"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_eqn(text: str) -> dict:
+    """Parse (and validate) an EQN document emitted by :func:`to_eqn`.
+
+    Returns ``{"inputs", "outputs", "equations": {name: expression}}``.
+    Raises :class:`ExportSyntaxError` on duplicate definitions, undefined
+    references, or malformed lines.
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    equations: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if not line.endswith(";"):
+            raise ExportSyntaxError(f"missing ';' in {line!r}")
+        line = line[:-1].strip()
+        if line.startswith("INORDER"):
+            inputs.extend(line.split("=", 1)[1].split())
+            continue
+        if line.startswith("OUTORDER"):
+            outputs.extend(line.split("=", 1)[1].split())
+            continue
+        if "=" not in line:
+            raise ExportSyntaxError(f"not an equation: {line!r}")
+        name, expression = (part.strip() for part in line.split("=", 1))
+        if not _IDENT_RE.match(name):
+            raise ExportSyntaxError(f"bad equation target {name!r}")
+        if name in equations:
+            raise ExportSyntaxError(f"duplicate definition of {name!r}")
+        equations[name] = expression
+    defined = set(inputs) | set(equations)
+    for name, expression in equations.items():
+        stripped = re.sub(r"[!*+()\s]", " ", expression)
+        for token in stripped.split():
+            if token in ("0", "1"):
+                continue
+            if not _IDENT_RE.match(token):
+                raise ExportSyntaxError(f"bad token {token!r} in {name!r}")
+            if token not in defined:
+                raise ExportSyntaxError(f"{name!r} references undefined {token!r}")
+    for name in outputs:
+        if name not in defined:
+            raise ExportSyntaxError(f"OUTORDER lists undefined {name!r}")
+    return {"inputs": inputs, "outputs": outputs, "equations": equations}
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch
+# ---------------------------------------------------------------------- #
+
+EXPORTERS: dict[str, Callable[[GateNetlist], str]] = {
+    "verilog": to_verilog,
+    "blif": to_blif,
+    "json": to_json,
+    "eqn": to_eqn,
+}
+
+#: formats accepted by :func:`export_netlist` and the CLI
+EXPORT_FORMATS = tuple(sorted(EXPORTERS))
+
+
+def export_netlist(netlist: GateNetlist, fmt: str) -> str:
+    """Render the netlist in the named format."""
+    try:
+        exporter = EXPORTERS[fmt]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown export format {fmt!r} (choose from {', '.join(EXPORT_FORMATS)})"
+        ) from error
+    return exporter(netlist)
+
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "EXPORTERS",
+    "ExportSyntaxError",
+    "export_netlist",
+    "parse_blif",
+    "parse_eqn",
+    "to_blif",
+    "to_eqn",
+    "to_json",
+    "to_verilog",
+    "validate_verilog",
+]

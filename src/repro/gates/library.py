@@ -1,0 +1,356 @@
+"""Gate libraries: typed cells, Boolean-matching fits, and cover plans.
+
+A :class:`GateLibrary` is an ordered collection of :class:`LibraryCell`
+objects, each characterized by the largest SOP it can absorb (Appendix F's
+complex-gate matching: number of product terms, literals per term, total
+literals) plus an area in normalized transistor units.
+
+The library's central operation is :meth:`GateLibrary.plan_cover`: a
+deterministic *plan* describing how a cover is realized as gates — one cell
+when a single cell absorbs the whole SOP, otherwise one cell per product
+term (oversized terms decomposed through an explicit AND tree) joined by a
+tree of 2-input ORs.  The plan is consumed both by the technology mapper
+(:func:`repro.synthesis.mapping.map_circuit`, which instantiates it into a
+:class:`~repro.gates.ir.GateNetlist`) and by the plain area estimator
+:meth:`GateLibrary.map_cover`, so the reported area and the constructed gate
+graph can never disagree.
+
+Libraries are serializable (:meth:`GateLibrary.to_json` /
+:meth:`GateLibrary.from_json`) and three built-ins are provided:
+
+* ``generic-cmos``   — complex gates up to four inputs (the default);
+* ``two-input-only`` — inverters plus 2-input AND/OR only;
+* ``latch-free``     — the generic cells but no C-latch: memory elements
+  are expanded into combinational feedback (``q = set + q·reset'``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.boolean.cover import Cover
+
+#: one operand of a plan node: a cover literal or an earlier node's output
+PlanOperand = Union[tuple[str, str, int], tuple[str, int]]  # ("var", name, pol) | ("node", index)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One planned gate: a cell plus the SOP it computes over its operands.
+
+    ``terms`` is the SOP, each term a tuple of operands; an operand is
+    ``("var", variable, polarity)`` for a cover literal or ``("node", i)``
+    for the output of plan node ``i`` (always consumed positively).
+    """
+
+    cell: str
+    area: int
+    terms: tuple[tuple[PlanOperand, ...], ...]
+
+
+@dataclass(frozen=True)
+class LibraryCell:
+    """One combinational cell of the gate library."""
+
+    name: str
+    max_terms: int
+    max_literals_per_term: int
+    max_total_literals: int
+    area: int
+
+    def fits(self, cover: Cover) -> bool:
+        """True if the cover can be absorbed by one instance of the cell."""
+        if len(cover) > self.max_terms:
+            return False
+        if cover.num_literals() > self.max_total_literals:
+            return False
+        return all(
+            cube.num_literals() <= self.max_literals_per_term for cube in cover
+        )
+
+    def fits_and(self, width: int) -> bool:
+        """True if the cell can absorb a single ``width``-literal product."""
+        return (
+            self.max_terms >= 1
+            and self.max_literals_per_term >= width
+            and self.max_total_literals >= width
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "max_terms": self.max_terms,
+            "max_literals_per_term": self.max_literals_per_term,
+            "max_total_literals": self.max_total_literals,
+            "area": self.area,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LibraryCell":
+        return cls(
+            name=data["name"],
+            max_terms=int(data["max_terms"]),
+            max_literals_per_term=int(data["max_literals_per_term"]),
+            max_total_literals=int(data["max_total_literals"]),
+            area=int(data["area"]),
+        )
+
+
+@dataclass
+class GateLibrary:
+    """An ordered collection of library cells."""
+
+    name: str
+    cells: list[LibraryCell] = field(default_factory=list)
+    #: area of the C-latch memory cell
+    latch_area: int = 8
+    #: area of a 2-input OR used to combine split covers
+    or2_area: int = 6
+    #: False expands memory elements into combinational feedback
+    allow_latch: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+
+    def cheapest_fit(self, cover: Cover) -> Optional[LibraryCell]:
+        """The cheapest cell absorbing the whole cover, if any.
+
+        Ties on area resolve by (area, total-literal capacity, name) so the
+        choice is independent of cell declaration order.
+        """
+        candidates = [cell for cell in self.cells if cell.fits(cover)]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda cell: (cell.area, cell.max_total_literals, cell.name),
+        )
+
+    def cheapest_and(self, width: int) -> Optional[LibraryCell]:
+        """The cheapest cell absorbing a ``width``-literal product term."""
+        candidates = [cell for cell in self.cells if cell.fits_and(width)]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda cell: (cell.area, cell.max_total_literals, cell.name),
+        )
+
+    def widest_and(self) -> int:
+        """The widest single product term any cell absorbs."""
+        widths = [
+            min(cell.max_literals_per_term, cell.max_total_literals)
+            for cell in self.cells
+            if cell.max_terms >= 1
+        ]
+        return max(widths, default=0)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def plan_cover(self, cover: Cover) -> list[PlanNode]:
+        """Plan the realization of a cover; the last node is the root.
+
+        Empty covers plan to an empty list (the mapper ties the output to
+        constant 0).  When no single cell absorbs the cover it is split per
+        product term; terms too wide for any cell are decomposed through an
+        explicit AND tree of the library's widest AND-capable cells (the
+        area is then simply the sum of the chosen cells).  Only when the
+        library cannot even absorb a 2-literal product does the planner fall
+        back to a ``wide-and<k>`` pseudo-cell of area ``2k + 2``.
+        """
+        if cover.is_empty():
+            return []
+        single = self.cheapest_fit(cover)
+        if single is not None:
+            return [PlanNode(single.name, single.area, _cover_terms(cover))]
+        nodes: list[PlanNode] = []
+        roots: list[int] = []
+        for cube in cover:
+            term_cover = Cover([cube], cover.variables)
+            cell = self.cheapest_fit(term_cover)
+            if cell is not None:
+                nodes.append(PlanNode(cell.name, cell.area, _cover_terms(term_cover)))
+                roots.append(len(nodes) - 1)
+            else:
+                roots.append(self._plan_and_tree(cube, nodes))
+        # balanced pairwise OR tree joining the product terms (len - 1 ORs)
+        while len(roots) > 1:
+            joined: list[int] = []
+            for index in range(0, len(roots) - 1, 2):
+                left, right = roots[index], roots[index + 1]
+                nodes.append(
+                    PlanNode(
+                        "or2",
+                        self.or2_area,
+                        ((("node", left),), (("node", right),)),
+                    )
+                )
+                joined.append(len(nodes) - 1)
+            if len(roots) % 2:
+                joined.append(roots[-1])
+            roots = joined
+        return nodes
+
+    def _plan_and_tree(self, cube, nodes: list[PlanNode]) -> int:
+        """Decompose an oversized product term into a tree of AND cells."""
+        literals = sorted(cube.literals.items())
+        width = self.widest_and()
+        if width < 2:
+            # degenerate library (no 2-input AND): deterministic pseudo-cell
+            count = len(literals)
+            nodes.append(
+                PlanNode(
+                    f"wide-and{count}",
+                    2 * count + 2,
+                    (tuple(("var", var, pol) for var, pol in literals),),
+                )
+            )
+            return len(nodes) - 1
+        operands: list[PlanOperand] = [
+            ("var", var, pol) for var, pol in literals
+        ]
+        while len(operands) > 1:
+            grouped: list[PlanOperand] = []
+            for start in range(0, len(operands), width):
+                chunk = operands[start:start + width]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                    continue
+                cell = self.cheapest_and(len(chunk))
+                nodes.append(PlanNode(cell.name, cell.area, (tuple(chunk),)))
+                grouped.append(("node", len(nodes) - 1))
+            operands = grouped
+        if operands[0][0] == "var":
+            # a 1-literal cube no cell absorbs: emit it through the pseudo-cell
+            nodes.append(PlanNode("wide-and1", 4, (tuple(operands),)))
+            return len(nodes) - 1
+        return operands[0][1]
+
+    def map_cover(self, cover: Cover) -> tuple[int, list[str]]:
+        """Map a cover onto the library; returns ``(area, cell_names)``.
+
+        A pure area/name view of :meth:`plan_cover` — the netlist builder
+        instantiates the same plan, so both always agree.
+        """
+        plan = self.plan_cover(cover)
+        return sum(node.area for node in plan), [node.cell for node in plan]
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-gate-library",
+            "version": 1,
+            "name": self.name,
+            "latch_area": self.latch_area,
+            "or2_area": self.or2_area,
+            "allow_latch": self.allow_latch,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GateLibrary":
+        if data.get("format") not in (None, "repro-gate-library"):
+            raise ValueError(
+                f"not a gate-library document (format={data.get('format')!r})"
+            )
+        return cls(
+            name=data["name"],
+            cells=[LibraryCell.from_dict(cell) for cell in data.get("cells", ())],
+            latch_area=int(data.get("latch_area", 8)),
+            or2_area=int(data.get("or2_area", 6)),
+            allow_latch=bool(data.get("allow_latch", True)),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "GateLibrary":
+        """Load a library from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise ValueError(f"cannot read gate library {path!r}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ValueError(f"malformed gate library {path!r}: {error}") from error
+        return cls.from_json(data)
+
+
+def _cover_terms(cover: Cover) -> tuple:
+    """The SOP of a cover as plan terms (literals sorted per cube)."""
+    return tuple(
+        tuple(("var", var, pol) for var, pol in sorted(cube.literals.items()))
+        for cube in cover
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Built-in libraries
+# ---------------------------------------------------------------------- #
+
+
+def _generic_cells() -> list[LibraryCell]:
+    return [
+        LibraryCell("inv", max_terms=1, max_literals_per_term=1, max_total_literals=1, area=2),
+        LibraryCell("and2", max_terms=1, max_literals_per_term=2, max_total_literals=2, area=6),
+        LibraryCell("and3", max_terms=1, max_literals_per_term=3, max_total_literals=3, area=8),
+        LibraryCell("and4", max_terms=1, max_literals_per_term=4, max_total_literals=4, area=10),
+        LibraryCell("or2", max_terms=2, max_literals_per_term=1, max_total_literals=2, area=6),
+        LibraryCell("aoi21", max_terms=2, max_literals_per_term=2, max_total_literals=3, area=8),
+        LibraryCell("aoi22", max_terms=2, max_literals_per_term=2, max_total_literals=4, area=10),
+        LibraryCell("aoi222", max_terms=3, max_literals_per_term=2, max_total_literals=6, area=14),
+        LibraryCell("oai31", max_terms=2, max_literals_per_term=3, max_total_literals=4, area=10),
+        LibraryCell("complex4x3", max_terms=4, max_literals_per_term=3, max_total_literals=12, area=22),
+    ]
+
+
+def default_library() -> GateLibrary:
+    """A generic CMOS-style library with complex gates up to four inputs."""
+    return GateLibrary(name="generic-cmos", cells=_generic_cells(), latch_area=8, or2_area=6)
+
+
+def two_input_library() -> GateLibrary:
+    """Inverters and 2-input AND/OR only (FPGA-basic-cell flavour)."""
+    cells = [
+        LibraryCell("inv", max_terms=1, max_literals_per_term=1, max_total_literals=1, area=2),
+        LibraryCell("and2", max_terms=1, max_literals_per_term=2, max_total_literals=2, area=6),
+        LibraryCell("or2", max_terms=2, max_literals_per_term=1, max_total_literals=2, area=6),
+    ]
+    return GateLibrary(name="two-input-only", cells=cells, latch_area=8, or2_area=6)
+
+
+def latch_free_library() -> GateLibrary:
+    """The generic cells without a C-latch: memory becomes SOP feedback."""
+    library = default_library()
+    return replace(library, name="latch-free", allow_latch=False)
+
+
+BUILTIN_LIBRARIES = {
+    "generic-cmos": default_library,
+    "two-input-only": two_input_library,
+    "latch-free": latch_free_library,
+}
+
+
+def get_library(source: Union[str, GateLibrary, None]) -> GateLibrary:
+    """Resolve a library argument: instance, built-in name, or JSON path."""
+    if source is None:
+        return default_library()
+    if isinstance(source, GateLibrary):
+        return source
+    builder = BUILTIN_LIBRARIES.get(source)
+    if builder is not None:
+        return builder()
+    if os.path.exists(source) or str(source).endswith(".json"):
+        return GateLibrary.from_file(source)
+    raise ValueError(
+        f"unknown gate library {source!r} (built-ins: "
+        f"{', '.join(sorted(BUILTIN_LIBRARIES))}; or pass a JSON file path)"
+    )

@@ -19,7 +19,16 @@ from repro.synthesis.conditions import (
     check_monotonicity_structural,
     check_monotonicity_state_based,
 )
-from repro.synthesis.mapping import GateLibrary, default_library, map_circuit
+from repro.synthesis.mapping import (
+    GateLibrary,
+    LibraryCell,
+    MappingResult,
+    default_library,
+    get_library,
+    latch_free_library,
+    map_circuit,
+    two_input_library,
+)
 from repro.synthesis.engine import SynthesisError, SynthesisOptions, synthesize
 
 __all__ = [
@@ -30,8 +39,13 @@ __all__ = [
     "check_monotonicity_structural",
     "check_monotonicity_state_based",
     "GateLibrary",
+    "LibraryCell",
+    "MappingResult",
     "default_library",
+    "get_library",
+    "latch_free_library",
     "map_circuit",
+    "two_input_library",
     "SynthesisError",
     "SynthesisOptions",
     "synthesize",

@@ -1,151 +1,384 @@
-"""Gate library and Boolean-matching technology mapping (Appendix F).
+"""Technology mapping: from behavioural covers to a gate-level netlist.
 
 The paper maps the minimized signal networks onto a library of standard
 cells, merging simple gates into complex gates (up to four inputs, e.g.
-AOI22) when available.  The reproduction uses a generic CMOS-style library:
-every cell is characterized by the largest SOP it can absorb (number of
-product terms, literals per term, total literals) and an area in normalized
-transistor units.  Mapping a cover means finding the cheapest set of cells
-whose combined capacity absorbs it; covers too large for one cell are split
-across cells term by term, with an OR tree in front of the latch.
+AOI22) when available (Appendix F).  This module performs that mapping
+*structurally*: :func:`map_circuit` lowers every
+:class:`~repro.synthesis.netlist.SignalImplementation` into real
+:class:`~repro.gates.ir.GateInstance` nodes wired through named nets,
+following the Section III-A architectures:
+
+* combinational complex gates (Fig. 3(a)) become one SOP cell (or a
+  term-split cell group joined by an explicit 2-input OR tree);
+* set/reset networks (Fig. 3(b)) become two cover cones feeding a C-latch;
+* the per-excitation-region architecture (Fig. 3(c)) instantiates one gate
+  per region cover and ORs the region outputs into the latch inputs;
+* the Appendix-D gated latch collapses set/reset cubes that share all but
+  one literal into an enable cone plus a ``gated-latch`` cell.
+
+Product terms too wide for any library cell are decomposed through an
+explicit AND tree of the library's widest AND-capable cells (a
+deterministic structure with a deterministic area — no estimates), and
+libraries with ``allow_latch=False`` expand every memory element into the
+combinational feedback form ``q = set + q·reset'``.
+
+The cell selection itself is delegated to
+:meth:`repro.gates.library.GateLibrary.plan_cover`, so the area reported by
+the plain estimator :meth:`GateLibrary.map_cover` and the area of the
+constructed netlist always agree.
 
 This intentionally stops short of general logic decomposition, which the
-paper also excludes ("it is not possible to apply a generalized decomposition
-process ... due to the restrictive correctness conditions imposed by
-speed-independent circuits").
+paper also excludes ("it is not possible to apply a generalized
+decomposition process ... due to the restrictive correctness conditions
+imposed by speed-independent circuits").
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from repro.boolean.cover import Cover
-from repro.synthesis.netlist import Circuit
+from repro.boolean.cube import Cube
+from repro.gates.ir import GateInstance, GateKind, GateNetlist, Net
+from repro.gates.library import (
+    GateLibrary,
+    LibraryCell,
+    PlanNode,
+    default_library,
+    get_library,
+    latch_free_library,
+    two_input_library,
+)
+from repro.synthesis.netlist import Architecture, Circuit, SignalImplementation
+
+__all__ = [
+    "GateLibrary",
+    "LibraryCell",
+    "MappingResult",
+    "default_library",
+    "get_library",
+    "latch_free_library",
+    "map_circuit",
+    "two_input_library",
+]
 
 
-@dataclass(frozen=True)
-class LibraryCell:
-    """One combinational cell of the gate library."""
-
-    name: str
-    max_terms: int
-    max_literals_per_term: int
-    max_total_literals: int
-    area: int
-
-    def fits(self, cover: Cover) -> bool:
-        """True if the cover can be absorbed by one instance of the cell."""
-        if len(cover) > self.max_terms:
-            return False
-        if cover.num_literals() > self.max_total_literals:
-            return False
-        return all(
-            cube.num_literals() <= self.max_literals_per_term for cube in cover
-        )
-
-
-@dataclass
-class GateLibrary:
-    """An ordered collection of library cells (cheapest first)."""
-
-    name: str
-    cells: list[LibraryCell] = field(default_factory=list)
-    #: area of the C-latch memory cell
-    latch_area: int = 8
-    #: area of a 2-input OR used to combine split covers
-    or2_area: int = 6
-
-    def cheapest_fit(self, cover: Cover) -> LibraryCell | None:
-        """The cheapest cell absorbing the whole cover, if any."""
-        candidates = [cell for cell in self.cells if cell.fits(cover)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda cell: cell.area)
-
-    def map_cover(self, cover: Cover) -> tuple[int, list[str]]:
-        """Map a cover onto the library.
-
-        Returns ``(area, cell_names)``.  If no single cell absorbs the cover
-        it is split per product term (each term mapped to its cheapest cell)
-        and the terms are combined with a tree of 2-input ORs.
-        """
-        if cover.is_empty():
-            return 0, []
-        single = self.cheapest_fit(cover)
-        if single is not None:
-            return single.area, [single.name]
-        area = 0
-        names: list[str] = []
-        for cube in cover:
-            term_cover = Cover([cube], cover.variables)
-            cell = self.cheapest_fit(term_cover)
-            if cell is None:
-                # fall back to an area estimate proportional to the literals
-                area += 2 * cube.num_literals() + 2
-                names.append("wide-and")
-            else:
-                area += cell.area
-                names.append(cell.name)
-        # OR tree to combine the terms
-        or_gates = max(len(cover) - 1, 0)
-        area += or_gates * self.or2_area
-        names.extend(["or2"] * or_gates)
-        return area, names
-
-
-def default_library() -> GateLibrary:
-    """A generic CMOS-style library with complex gates up to four inputs."""
-    cells = [
-        LibraryCell("inv", max_terms=1, max_literals_per_term=1, max_total_literals=1, area=2),
-        LibraryCell("and2", max_terms=1, max_literals_per_term=2, max_total_literals=2, area=6),
-        LibraryCell("and3", max_terms=1, max_literals_per_term=3, max_total_literals=3, area=8),
-        LibraryCell("and4", max_terms=1, max_literals_per_term=4, max_total_literals=4, area=10),
-        LibraryCell("or2", max_terms=2, max_literals_per_term=1, max_total_literals=2, area=6),
-        LibraryCell("aoi21", max_terms=2, max_literals_per_term=2, max_total_literals=3, area=8),
-        LibraryCell("aoi22", max_terms=2, max_literals_per_term=2, max_total_literals=4, area=10),
-        LibraryCell("aoi222", max_terms=3, max_literals_per_term=2, max_total_literals=6, area=14),
-        LibraryCell("oai31", max_terms=2, max_literals_per_term=3, max_total_literals=4, area=10),
-        LibraryCell("complex4x3", max_terms=4, max_literals_per_term=3, max_total_literals=12, area=22),
-    ]
-    return GateLibrary(name="generic-cmos", cells=cells, latch_area=8, or2_area=6)
+def _ident(name: str) -> str:
+    """Sanitize a transition label for use inside net names."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name.replace("+", "p").replace("-", "m"))
 
 
 @dataclass
 class MappingResult:
-    """Area report of a mapped circuit."""
+    """A mapped circuit: area report plus the constructed gate netlist."""
 
     circuit: Circuit
     total_area: int
     per_signal_area: dict[str, int] = field(default_factory=dict)
     cells_used: dict[str, list[str]] = field(default_factory=dict)
+    #: the typed gate-graph IR of the mapped circuit
+    netlist: Optional[GateNetlist] = None
+    #: the library the circuit was mapped with
+    library: Optional[GateLibrary] = None
 
 
-def map_circuit(circuit: Circuit, library: GateLibrary | None = None) -> MappingResult:
-    """Map every signal network of a circuit onto the library."""
-    if library is None:
-        library = default_library()
+class _NetlistBuilder:
+    """Incrementally constructs the :class:`GateNetlist` of one circuit."""
+
+    def __init__(self, circuit: Circuit, library: GateLibrary):
+        self.library = library
+        implemented = set(circuit.implementations)
+        ordered = list(circuit.signal_order)
+        ordered += [s for s in circuit.implementations if s not in ordered]
+        self._inputs = [s for s in ordered if s not in implemented]
+        self._outputs = [s for s in ordered if s in implemented]
+        self.netlist = GateNetlist(name=circuit.name, library=library.name)
+        for signal in self._inputs:
+            self.netlist.nets[signal] = Net(signal, "input", signal=signal)
+        for signal in self._outputs:
+            self.netlist.nets[signal] = Net(signal, "output", signal=signal)
+
+    # -------------------------------------------------------------- #
+    # Net / gate plumbing
+    # -------------------------------------------------------------- #
+
+    def _signal_net(self, variable: str) -> str:
+        """The net carrying a cover variable (declared lazily as an input)."""
+        if variable not in self.netlist.nets:
+            self.netlist.nets[variable] = Net(variable, "input", signal=variable)
+            self._inputs.append(variable)
+        return variable
+
+    def _internal_net(self, name: str) -> str:
+        if name in self.netlist.nets:
+            raise ValueError(f"net name collision: {name!r}")
+        self.netlist.nets[name] = Net(name, "internal")
+        return name
+
+    def _add_gate(
+        self,
+        cell: str,
+        kind: GateKind,
+        inputs: tuple[str, ...],
+        output: str,
+        terms: tuple,
+        area: int,
+    ) -> None:
+        self.netlist.gates.append(
+            GateInstance(
+                name=f"g_{output}",
+                cell=cell,
+                kind=kind,
+                inputs=inputs,
+                output=output,
+                terms=terms,
+                area=area,
+            )
+        )
+
+    def _emit_const(self, value: int, output_net: Optional[str], prefix: str) -> str:
+        net = output_net if output_net is not None else self._internal_net(prefix)
+        terms = ((),) if value else ()
+        self._add_gate(f"const{value}", GateKind.SOP, (), net, terms, 0)
+        return net
+
+    # -------------------------------------------------------------- #
+    # Cover cones
+    # -------------------------------------------------------------- #
+
+    def _emit_plan(
+        self, plan: list[PlanNode], prefix: str, output_net: Optional[str]
+    ) -> str:
+        node_nets: list[str] = []
+        for index, node in enumerate(plan):
+            is_root = index == len(plan) - 1
+            if is_root and output_net is not None:
+                net = output_net
+            elif is_root:
+                net = self._internal_net(prefix)
+            else:
+                net = self._internal_net(f"{prefix}__n{index}")
+            pins: list[tuple[str, int]] = []
+            pin_index: dict[str, int] = {}
+            terms: list[tuple[tuple[int, int], ...]] = []
+            for term in node.terms:
+                resolved: list[tuple[int, int]] = []
+                for operand in term:
+                    if operand[0] == "var":
+                        _, variable, polarity = operand
+                        source = self._signal_net(variable)
+                    else:
+                        source = node_nets[operand[1]]
+                        polarity = 1
+                    position = pin_index.get(source)
+                    if position is None:
+                        position = len(pins)
+                        pin_index[source] = position
+                        pins.append((source, polarity))
+                    resolved.append((position, polarity))
+                terms.append(tuple(resolved))
+            self._add_gate(
+                node.cell,
+                GateKind.SOP,
+                tuple(name for name, _ in pins),
+                net,
+                tuple(terms),
+                node.area,
+            )
+            node_nets.append(net)
+        return node_nets[-1]
+
+    def _emit_cover(
+        self, cover: Cover, prefix: str, output_net: Optional[str] = None
+    ) -> str:
+        """Lower one cover to gates; returns the net carrying its value."""
+        plan = self.library.plan_cover(cover)
+        if not plan:
+            return self._emit_const(0, output_net, prefix)
+        return self._emit_plan(plan, prefix, output_net)
+
+    def _or_join(self, nets: list[str], prefix: str) -> str:
+        """Join nets with a balanced tree of 2-input ORs."""
+        if not nets:
+            return self._emit_const(0, None, prefix)
+        if len(nets) == 1:
+            return nets[0]
+        counter = 0
+        while len(nets) > 1:
+            joined: list[str] = []
+            for index in range(0, len(nets) - 1, 2):
+                final = len(nets) == 2
+                net = prefix if final else f"{prefix}_or{counter}"
+                counter += 1
+                out = self._internal_net(net)
+                self._add_gate(
+                    "or2",
+                    GateKind.SOP,
+                    (nets[index], nets[index + 1]),
+                    out,
+                    (((0, 1),), ((1, 1),)),
+                    self.library.or2_area,
+                )
+                joined.append(out)
+            if len(nets) % 2:
+                joined.append(nets[-1])
+            nets = joined
+        return nets[0]
+
+    # -------------------------------------------------------------- #
+    # Memory elements
+    # -------------------------------------------------------------- #
+
+    def _emit_latch(self, signal: str, set_net: str, reset_net: str) -> None:
+        if self.library.allow_latch:
+            self._add_gate(
+                "c-latch",
+                GateKind.C_LATCH,
+                (set_net, reset_net),
+                signal,
+                (),
+                self.library.latch_area,
+            )
+            return
+        # latch-free realization: q = set + q * reset'
+        hold_cell = self.library.cheapest_and(2)
+        hold_name, hold_area = (
+            (hold_cell.name, hold_cell.area) if hold_cell else ("wide-and2", 6)
+        )
+        hold_net = self._internal_net(f"{signal}__hold")
+        self._add_gate(
+            hold_name,
+            GateKind.SOP,
+            (self._signal_net(signal), reset_net),
+            hold_net,
+            (((0, 1), (1, 0)),),
+            hold_area,
+        )
+        self._add_gate(
+            "or2",
+            GateKind.SOP,
+            (set_net, hold_net),
+            signal,
+            (((0, 1),), ((1, 1),)),
+            self.library.or2_area,
+        )
+
+    @staticmethod
+    def _gated_latch_shape(
+        implementation: SignalImplementation,
+    ) -> Optional[tuple[Cube, str, int]]:
+        """(common cube, data variable, data polarity) for Appendix-D covers."""
+        set_cover = implementation.set_cover
+        reset_cover = implementation.reset_cover
+        if len(set_cover) != 1 or len(reset_cover) != 1:
+            return None
+        set_cube = set_cover.cubes[0]
+        reset_cube = reset_cover.cubes[0]
+        if set_cube.support != reset_cube.support:
+            return None
+        if set_cube.distance(reset_cube) != 1:
+            return None
+        differing = [
+            variable
+            for variable, value in set_cube.literals.items()
+            if reset_cube.value_of(variable) != value
+        ]
+        common = set_cube.supercube(reset_cube)
+        return common, differing[0], set_cube[differing[0]]
+
+    # -------------------------------------------------------------- #
+    # Per-signal mapping
+    # -------------------------------------------------------------- #
+
+    def map_signal(self, implementation: SignalImplementation) -> tuple[int, list[str]]:
+        """Lower one signal implementation; returns (area, cells used)."""
+        start = len(self.netlist.gates)
+        signal = implementation.signal
+        if not implementation.uses_latch:
+            self._emit_cover(implementation.set_cover, signal, output_net=signal)
+        elif (
+            implementation.architecture is Architecture.ER_ONE_HOT
+            and implementation.region_covers
+        ):
+            rising: list[str] = []
+            falling: list[str] = []
+            for transition, cover in implementation.region_covers.items():
+                region_net = self._emit_cover(
+                    cover, f"{signal}__er_{_ident(transition)}"
+                )
+                (rising if "+" in transition else falling).append(region_net)
+            set_net = self._or_join(rising, f"{signal}__set")
+            reset_net = self._or_join(falling, f"{signal}__reset")
+            self._emit_latch(signal, set_net, reset_net)
+        else:
+            shape = (
+                self._gated_latch_shape(implementation)
+                if implementation.architecture is Architecture.GATED_LATCH
+                and self.library.allow_latch
+                else None
+            )
+            if shape is not None:
+                common, data_var, polarity = shape
+                if common.is_universal():
+                    enable_net = self._emit_const(1, None, f"{signal}__en")
+                else:
+                    enable_net = self._emit_cover(
+                        Cover([common], implementation.set_cover.variables),
+                        f"{signal}__en",
+                    )
+                self._add_gate(
+                    "gated-latch",
+                    GateKind.GATED_LATCH,
+                    (enable_net, self._signal_net(data_var)),
+                    signal,
+                    (((1, polarity),),),
+                    self.library.latch_area,
+                )
+            else:
+                set_net = self._emit_cover(implementation.set_cover, f"{signal}__set")
+                reset_net = self._emit_cover(
+                    implementation.reset_cover, f"{signal}__reset"
+                )
+                self._emit_latch(signal, set_net, reset_net)
+        new_gates = self.netlist.gates[start:]
+        return sum(gate.area for gate in new_gates), [gate.cell for gate in new_gates]
+
+    def finish(self) -> GateNetlist:
+        self.netlist.inputs = tuple(self._inputs)
+        self.netlist.outputs = tuple(self._outputs)
+        self.netlist.validate()
+        return self.netlist
+
+
+def map_circuit(
+    circuit: Circuit, library: Union[GateLibrary, str, None] = None
+) -> MappingResult:
+    """Map every signal network of a circuit onto the library.
+
+    ``library`` may be a :class:`GateLibrary`, a built-in name
+    (``generic-cmos``, ``two-input-only``, ``latch-free``), a path to a
+    library JSON file, or ``None`` for the default.  The result carries the
+    constructed :class:`~repro.gates.ir.GateNetlist` alongside the
+    per-signal area report.
+    """
+    library = get_library(library)
+    builder = _NetlistBuilder(circuit, library)
     total = 0
     per_signal: dict[str, int] = {}
     cells: dict[str, list[str]] = {}
     for implementation in circuit:
-        area = 0
-        used: list[str] = []
-        covers = [implementation.set_cover]
-        if implementation.uses_latch:
-            covers.append(implementation.reset_cover)
-        for cover in covers:
-            cover_area, cover_cells = library.map_cover(cover)
-            area += cover_area
-            used.extend(cover_cells)
-        if implementation.uses_latch:
-            area += library.latch_area
-            used.append("c-latch")
+        area, used = builder.map_signal(implementation)
         per_signal[implementation.signal] = area
         cells[implementation.signal] = used
         total += area
+    netlist = builder.finish()
     return MappingResult(
         circuit=circuit,
         total_area=total,
         per_signal_area=per_signal,
         cells_used=cells,
+        netlist=netlist,
+        library=library,
     )

@@ -110,6 +110,77 @@ class TestVerifyAndCompare:
         assert data["matching"] is True
 
 
+class TestExport:
+    def test_verilog_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "export", "sequencer", "--format", "verilog")
+        assert code == 0
+        from repro.gates import validate_verilog
+
+        validate_verilog(out)
+        assert "module sequencer" in out
+
+    def test_blif_round_trips(self, capsys):
+        code, out, _ = run_cli(capsys, "export", "glatch_3", "--format", "blif",
+                               "--level", "2")
+        assert code == 0
+        from repro.gates import parse_blif
+
+        parsed = parse_blif(out)
+        assert "y" in parsed["outputs"]
+
+    def test_json_output_file(self, capsys, tmp_path):
+        from repro.gates import GateNetlist
+
+        path = tmp_path / "netlist.json"
+        code, out, _ = run_cli(
+            capsys, "export", "sequencer", "--format", "json", "-o", str(path)
+        )
+        assert code == 0
+        assert "wrote json netlist" in out
+        netlist = GateNetlist.from_json(json.loads(path.read_text()))
+        assert set(netlist.outputs) == {"r1", "r2", "ack"}
+
+    def test_eqn_with_builtin_library(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "export", "parallelizer", "--format", "eqn",
+            "--lib", "two-input-only",
+        )
+        assert code == 0
+        from repro.gates import parse_eqn
+
+        parse_eqn(out)
+        assert "two-input-only" in out
+
+    def test_library_json_file(self, capsys, tmp_path):
+        from repro.gates import two_input_library
+
+        lib_path = tmp_path / "lib.json"
+        lib_path.write_text(json.dumps(two_input_library().to_json()))
+        code, out, _ = run_cli(
+            capsys, "export", "sequencer", "--lib", str(lib_path)
+        )
+        assert code == 0
+
+    def test_unknown_library_is_a_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "export", "sequencer", "--lib", "nope")
+        assert code == 2
+        assert "unknown gate library" in err
+
+    def test_synthesize_verify_mapped_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "synthesize", "glatch_3", "--level", "2", "--verify-mapped"
+        )
+        assert code == 0
+        assert "mapped netlist equivalent: True" in out
+
+    def test_verify_mapped_subcommand(self, capsys):
+        code, out, _ = run_cli(capsys, "verify", "sequencer", "--mapped", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["verify"]["speed_independent"] is True
+        assert data["verify_mapped"]["equivalent"] is True
+
+
 class TestParser:
     def test_missing_command_exits_with_usage(self):
         with pytest.raises(SystemExit) as excinfo:

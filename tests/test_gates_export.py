@@ -1,0 +1,113 @@
+"""Round-trip / syntax tests of the four netlist export formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
+from repro.gates import (
+    EXPORT_FORMATS,
+    ExportSyntaxError,
+    GateNetlist,
+    export_netlist,
+    parse_blif,
+    parse_eqn,
+    to_blif,
+    to_eqn,
+    to_json,
+    to_verilog,
+    validate_verilog,
+)
+from repro.synthesis import SynthesisOptions
+
+#: a latch-heavy, a combinational, and a multi-region benchmark
+EXPORT_BENCHMARKS = ("glatch_3", "sequencer", "parallelizer", "rw_port")
+
+_pipeline = Pipeline()
+
+
+def _netlist(name: str, level: int = 5):
+    return _pipeline.map(
+        Spec.from_benchmark(name), SynthesisOptions(level=level, assume_csc=True)
+    ).netlist
+
+
+class TestFormats:
+    def test_export_format_registry(self):
+        assert set(EXPORT_FORMATS) == {"verilog", "blif", "json", "eqn"}
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_netlist(_netlist("sequencer"), "edif")
+
+    @pytest.mark.parametrize("name", EXPORT_BENCHMARKS)
+    def test_verilog_passes_syntax_check(self, name):
+        text = to_verilog(_netlist(name))
+        validate_verilog(text)
+        assert text.startswith("//") and text.rstrip().endswith("endmodule")
+
+    @pytest.mark.parametrize("name", EXPORT_BENCHMARKS)
+    def test_blif_round_trips_through_reader(self, name):
+        netlist = _netlist(name)
+        parsed = parse_blif(to_blif(netlist))
+        assert parsed["inputs"] == list(netlist.inputs)
+        assert parsed["outputs"] == list(netlist.outputs)
+        # one .names table per gate
+        assert len(parsed["names"]) == netlist.num_gates()
+
+    @pytest.mark.parametrize("name", EXPORT_BENCHMARKS)
+    def test_json_round_trips_losslessly(self, name):
+        netlist = _netlist(name)
+        clone = GateNetlist.from_json(json.loads(to_json(netlist)))
+        assert clone == netlist
+
+    @pytest.mark.parametrize("name", EXPORT_BENCHMARKS)
+    def test_eqn_round_trips_through_reader(self, name):
+        netlist = _netlist(name)
+        parsed = parse_eqn(to_eqn(netlist))
+        assert set(parsed["outputs"]) <= set(parsed["equations"])
+        # every driven net has exactly one equation
+        assert len(parsed["equations"]) == netlist.num_gates()
+
+    def test_level_one_region_architecture_exports(self):
+        netlist = _netlist("fig1", level=1)
+        validate_verilog(to_verilog(netlist))
+        parse_blif(to_blif(netlist))
+        parse_eqn(to_eqn(netlist))
+
+
+class TestValidatorsCatchCorruption:
+    def test_blif_missing_end(self):
+        text = to_blif(_netlist("sequencer"))
+        with pytest.raises(ExportSyntaxError, match="missing .end"):
+            parse_blif(text.replace(".end", ""))
+
+    def test_blif_bad_row_width(self):
+        # level 2 keeps the set/reset C-latch, whose table rows we corrupt
+        text = to_blif(_netlist("glatch_3", level=2))
+        assert "10- 1" in text
+        with pytest.raises(ExportSyntaxError):
+            parse_blif(text.replace("10- 1", "10-- 1"))
+
+    def test_blif_undefined_net(self):
+        with pytest.raises(ExportSyntaxError, match="undefined net"):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n")
+
+    def test_verilog_undeclared_identifier(self):
+        text = to_verilog(_netlist("sequencer"))
+        with pytest.raises(ExportSyntaxError, match="undeclared"):
+            validate_verilog(text.replace("endmodule", "  assign ghost = r1;\nendmodule"))
+
+    def test_verilog_unbalanced_module(self):
+        text = to_verilog(_netlist("sequencer"))
+        with pytest.raises(ExportSyntaxError, match="module"):
+            validate_verilog(text.replace("endmodule", ""))
+
+    def test_eqn_undefined_reference(self):
+        with pytest.raises(ExportSyntaxError, match="undefined"):
+            parse_eqn("INORDER = a;\nOUTORDER = y;\ny = a * ghost;\n")
+
+    def test_eqn_missing_semicolon(self):
+        with pytest.raises(ExportSyntaxError, match="missing ';'"):
+            parse_eqn("INORDER = a;\ny = a\n")
