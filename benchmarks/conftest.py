@@ -7,11 +7,12 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR3.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR4.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
 recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
-unified API; PR3 adds gate-netlist construction and gate-level differential
-verification timings from ``bench_mapping.py``).
+unified API; PR3 gate-netlist construction and gate-level differential
+verification; PR4 the compiled state-based engine and bit-parallel mapped
+verification from ``bench_statebased.py``).
 """
 
 from __future__ import annotations
@@ -38,6 +39,18 @@ SEED_BASELINE = {
     },
 }
 
+#: PR 3 record (BENCH_PR3.json, same machine): the dict-based state-based
+#: columns of Table VI and the per-code event-simulation verification
+#: throughput the compiled state-based engine (PR 4) is measured against.
+PR3_BASELINE = {
+    "table6_statebased_s": {
+        "independent_cells_5": 10.432,
+        "muller_pipeline_8": 2.051,
+        "total": 12.483,
+    },
+    "verify_mapped_codes_per_s": 25876,
+}
+
 
 @pytest.fixture(scope="session")
 def print_table():
@@ -62,19 +75,22 @@ _REQUIRED_SECTIONS = (
     "count_reachable_markings_s",
     "fig13_pipeline",
     "mapping",
+    "statebased",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR3.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR4.json on teardown."""
     record: dict = {
-        "pr": 3,
+        "pr": 4,
         "kernel": (
-            "gate-level netlist back end (repro.gates IR, exporters, event "
-            "simulation) on the unified pipeline and bit-packed kernel"
+            "compiled state-based engine (packed int state codes, bitset "
+            "regions, mask-based coding/consistency) and bit-parallel "
+            "mapped-netlist verification on the bit-packed kernel"
         ),
         "seed_baseline": SEED_BASELINE,
+        "pr3_baseline": PR3_BASELINE,
         "results": {},
     }
     yield record
@@ -114,4 +130,13 @@ def perf_record(request):
     if pipeline.get("speedup"):
         speedups["fig13_sweep_cached_pipeline"] = pipeline["speedup"]
     record["speedup_vs_seed"] = speedups
-    write_perf_record(repo_root / "BENCH_PR3.json", record)
+    statebased = record["results"].get("statebased", {})
+    speedups_pr3 = {}
+    synthesis = statebased.get("synthesis", {})
+    if synthesis.get("speedup_vs_pr3"):
+        speedups_pr3["table6_statebased_total"] = synthesis["speedup_vs_pr3"]
+    verification = statebased.get("mapped_verification", {})
+    if verification.get("speedup_vs_pr3"):
+        speedups_pr3["verify_mapped_throughput"] = verification["speedup_vs_pr3"]
+    record["speedup_vs_pr3"] = speedups_pr3
+    write_perf_record(repo_root / "BENCH_PR4.json", record)

@@ -26,7 +26,7 @@ from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro.api.artifacts import Report, SynthesisArtifact, _clean
 from repro.api.spec import Spec, SpecLike
-from repro.statebased.nextstate import next_state_value
+from repro.statebased.nextstate import implied_value_bitsets
 from repro.statebased.regions import compute_signal_regions
 from repro.statebased.synthesis import synthesize_state_based
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
@@ -245,25 +245,48 @@ def compare(
     if regions is None:
         regions = compute_signal_regions(stg, compute_backward=False)
     signals = [s for s in stg.non_input_signals]
+    encoded = regions.encoded
+    # per-signal implied-value bitsets; circuit evaluations cached per
+    # distinct packed code (both circuits are functions of the code alone)
+    on_bits, off_bits = implied_value_bitsets(regions, signals)
+    packed = encoded.packed_codes
+    eval_cache: dict[int, dict[str, tuple[int, int]]] = {}
     mismatches: list[dict] = []
     mismatch_count = 0
     checked = 0
-    for marking in regions.encoded.markings:
-        code = regions.encoded.code_of(marking)
+    for index in range(len(packed)):
+        code_int = packed[index]
+        state_bit = 1 << index
         checked += 1
+        values = eval_cache.get(code_int)
+        if values is None:
+            code = encoded.code_dict_of_int(code_int)
+            values = {
+                signal: (
+                    structural.circuit.next_value(signal, code),
+                    statebased.circuit.next_value(signal, code),
+                )
+                for signal in signals
+            }
+            eval_cache[code_int] = values
         for signal in signals:
-            implied = next_state_value(stg, regions, signal, marking)
-            s_value = structural.circuit.next_value(signal, code)
-            b_value = statebased.circuit.next_value(signal, code)
+            if on_bits[signal] & state_bit:
+                implied: Optional[int] = 1
+            elif off_bits[signal] & state_bit:
+                implied = 0
+            else:
+                implied = None
+            s_value, b_value = values[signal]
             if s_value == b_value and (implied is None or implied == s_value):
                 continue
             mismatch_count += 1
             # matching keys on the count; the detail records are capped
             if len(mismatches) < max_mismatches:
+                marking = encoded.marking_list[index]
                 mismatches.append(
                     {
                         "signal": signal,
-                        "code": regions.encoded.code_string(marking),
+                        "code": encoded.code_string(marking),
                         "structural": s_value,
                         "statebased": b_value,
                         "specified": implied,

@@ -41,16 +41,19 @@ from repro.gates.library import (
     latch_free_library,
     two_input_library,
 )
+from repro.gates.compiled import CompiledNetlistEvaluator, compile_netlist
 from repro.gates.simulate import GateLevelSimulator, SimulationError, simulate_settled
 from repro.gates.verify import MappedVerificationReport, verify_mapped_netlist
 
 __all__ = [
     "BUILTIN_LIBRARIES",
+    "CompiledNetlistEvaluator",
     "EXPORT_FORMATS",
     "ExportSyntaxError",
     "GateInstance",
     "GateKind",
     "GateLevelSimulator",
+    "compile_netlist",
     "GateLibrary",
     "GateNetlist",
     "LibraryCell",

@@ -1,4 +1,4 @@
-"""Gate-level event simulation of a mapped netlist.
+"""Gate-level simulation of a mapped netlist.
 
 The simulator implements the one-step semantics the speed-independence
 verifier uses on the behavioural netlist: given the binary code of a
@@ -10,35 +10,43 @@ latch driving each output signal then yields that signal's *next* value.
 Clamping the signal nets is what makes the interior acyclic (see the
 feedback discipline in :mod:`repro.gates.ir`): the self-dependence of a
 combinational complex gate and the feedback of a latch both pass through a
-clamped net, so propagation always terminates.  A cycle that does *not*
-pass through a signal net is a mapping bug; the simulator guards against it
-with an event budget and raises :class:`SimulationError` instead of
-spinning.
+clamped net, so propagation always terminates.  Because validation already
+rejects cyclic interiors, settling needs no event queue at all —
+:meth:`GateLevelSimulator.settle` executes the compiled straight-line
+program of :mod:`repro.gates.compiled` at width 1, and
+:meth:`GateLevelSimulator.settle_batch` evaluates many codes in one
+bit-parallel pass.  The original event-driven stabilization loop is kept as
+:meth:`GateLevelSimulator._reference_settle` — the oracle of the
+differential tests and the executable statement of the semantics (including
+the oscillation guard for netlists that bypass validation).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
+from repro.gates.compiled import (
+    CompiledNetlistEvaluator,
+    SimulationError,
+    signal_columns,
+)
 from repro.gates.ir import GateNetlist, NetlistError
 
 
-class SimulationError(RuntimeError):
-    """Raised when the netlist does not settle (combinational oscillation)."""
-
-
 class GateLevelSimulator:
-    """Event-driven evaluator of a :class:`~repro.gates.ir.GateNetlist`.
+    """Evaluator of a :class:`~repro.gates.ir.GateNetlist`.
 
-    Construction validates the netlist and precomputes the topological seed
-    order and the fan-out index, so repeated :meth:`settle` calls (one per
-    reachable state in the differential check) stay cheap.
+    Construction validates the netlist and compiles the topological
+    straight-line program, so repeated :meth:`settle` calls (one per
+    reachable state in the differential check) stay cheap and
+    :meth:`settle_batch` amortises whole code sets into single big-int
+    operations.
     """
 
     def __init__(self, netlist: GateNetlist):
-        netlist.validate()
         self.netlist = netlist
+        self._evaluator = CompiledNetlistEvaluator(netlist)
         self._order = netlist.topological_gates()
         #: signal carried by each clamped net
         self._clamped: dict[str, str] = {
@@ -71,6 +79,26 @@ class GateLevelSimulator:
         produces — directly comparable with
         :meth:`repro.synthesis.netlist.Circuit.next_values`.
         """
+        return self._evaluator.evaluate(code, 1)
+
+    def settle_batch(
+        self, codes: Sequence[int], signal_bits: list[tuple[str, int]]
+    ) -> dict[str, int]:
+        """Settle many packed codes at once (bit-parallel).
+
+        ``codes[j]`` is the packed state code of column bit ``j`` (bit
+        positions per ``signal_bits``); the result maps each output signal
+        to its next-value column.
+        """
+        columns = signal_columns(list(codes), signal_bits)
+        return self._evaluator.evaluate(columns, len(codes))
+
+    # ------------------------------------------------------------------ #
+    # Reference event-driven loop (differential-test oracle)
+    # ------------------------------------------------------------------ #
+
+    def _reference_settle(self, code: Mapping[str, int]) -> dict[str, int]:
+        """Event-driven stabilization (the original semantics)."""
         values: dict[str, int] = {}
         for net, signal in self._clamped.items():
             try:

@@ -60,7 +60,31 @@ def place_invariants(
         Safety bound on the intermediate row count (raises ``RuntimeError``
         when exceeded), protecting the scalable benchmarks from pathological
         blow-up.
+
+    The result is memoised on the net keyed by its structural ``_version``
+    (and the ``max_rows`` bound), so the repeated refinement queries of the
+    SM-cover search (:func:`repro.petri.smcover.find_sm_component_containing`
+    callers re-enter here once per uncovered place) reuse one Farkas fixed
+    point.  Callers receive fresh dicts; the cached rows are never exposed.
     """
+    version = getattr(net, "_version", None)
+    cache_key = (version, max_rows)
+    cached = getattr(net, "_invariants_cache", None)
+    if cached is not None and cached[0] == cache_key:
+        return [dict(invariant) for invariant in cached[1]]
+    invariants = _compute_place_invariants(net, max_rows)
+    try:
+        net._invariants_cache = (cache_key, invariants)
+    except AttributeError:
+        pass  # net-like object without attribute support; skip caching
+    return [dict(invariant) for invariant in invariants]
+
+
+def _compute_place_invariants(
+    net: PetriNet,
+    max_rows: Optional[int],
+) -> list[dict[str, int]]:
+    """Uncached Farkas elimination (see :func:`place_invariants`)."""
     places, transitions, matrix = incidence_matrix(net)
     num_places = len(places)
     num_transitions = len(transitions)

@@ -30,6 +30,7 @@ from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 
 __all__ = [
+    "IndexedGraph",
     "ReachabilityGraph",
     "StateSpaceLimitExceeded",
     "build_reachability_graph",
@@ -60,6 +61,37 @@ class ReachabilityGraph:
         self._packed: Optional[list[int]] = None
         self._packed_enabled: Optional[list[int]] = None
         self._marking_list: Optional[list[Marking]] = None
+        self._packed_edges: Optional[list[tuple[int, int, int]]] = None
+        self._indexed: Optional["IndexedGraph"] = None
+        # Graphs built by the reference BFS are materialized from the start;
+        # the compiled builder defers Marking objects and adjacency dicts
+        # until a name-based accessor needs them (purely packed consumers —
+        # the encoder, the region/coding/consistency algorithms, the mapped
+        # verifier — never pay for them).
+        self._materialized = True
+
+    def _ensure_materialized(self) -> None:
+        """Build the name-based view from the packed payload on demand."""
+        if self._materialized:
+            return
+        self._materialized = True
+        compiled = self._compiled
+        markings = [self.initial]
+        unpack = compiled.unpack
+        markings.extend(unpack(bits) for bits in self._packed[1:])
+        self._marking_list = markings
+        successors = self._successors
+        predecessors = self._predecessors
+        for marking in markings:
+            successors[marking] = []
+            predecessors[marking] = []
+        transition_names = compiled.transition_names
+        for source, transition, target in self._packed_edges:
+            label = transition_names[transition]
+            source_marking = markings[source]
+            target_marking = markings[target]
+            successors[source_marking].append((label, target_marking))
+            predecessors[target_marking].append((label, source_marking))
 
     # ------------------------------------------------------------------ #
     # Construction (used by the builder)
@@ -82,54 +114,69 @@ class ReachabilityGraph:
     @property
     def markings(self) -> list[Marking]:
         """All reachable markings (discovery order)."""
+        self._ensure_materialized()
         return list(self._successors)
 
     def __len__(self) -> int:
+        if self._packed is not None:
+            return len(self._packed)
         return len(self._successors)
 
     def __contains__(self, marking: Marking) -> bool:
+        self._ensure_materialized()
         return marking in self._successors
 
     def __iter__(self) -> Iterator[Marking]:
+        self._ensure_materialized()
         return iter(self._successors)
 
     def successors(self, marking: Marking) -> list[tuple[str, Marking]]:
         """Outgoing edges of a marking as ``(transition, target)`` pairs."""
+        self._ensure_materialized()
         return list(self._successors[marking])
 
     def predecessors(self, marking: Marking) -> list[tuple[str, Marking]]:
         """Incoming edges of a marking as ``(transition, source)`` pairs."""
+        self._ensure_materialized()
         return list(self._predecessors[marking])
 
     def edges(self) -> Iterator[tuple[Marking, str, Marking]]:
         """Iterate over all edges as ``(source, transition, target)``."""
+        self._ensure_materialized()
         for source, items in self._successors.items():
             for transition, target in items:
                 yield source, transition, target
 
     def num_edges(self) -> int:
         """Total number of edges."""
+        if self._packed_edges is not None:
+            return len(self._packed_edges)
         return sum(len(items) for items in self._successors.values())
 
     def enabled_transitions(self, marking: Marking) -> set[str]:
         """Transitions enabled at a marking (labels of outgoing edges)."""
+        self._ensure_materialized()
         return {transition for transition, _ in self._successors[marking]}
 
     def markings_enabling(self, transition: str) -> list[Marking]:
         """All markings at which ``transition`` is enabled."""
+        self._ensure_materialized()
         return [m for m, items in self._successors.items()
                 if any(label == transition for label, _ in items)]
 
     def is_deadlock(self, marking: Marking) -> bool:
         """True if no transition is enabled at the marking."""
+        self._ensure_materialized()
         return not self._successors[marking]
 
     def deadlocks(self) -> list[Marking]:
         """All deadlocked markings."""
+        self._ensure_materialized()
         return [m for m in self._successors if self.is_deadlock(m)]
 
     def fired_transitions(self) -> set[str]:
         """Transitions appearing as an edge label somewhere in the graph."""
+        self._ensure_materialized()
         labels: set[str] = set()
         for items in self._successors.values():
             labels.update(label for label, _ in items)
@@ -137,6 +184,7 @@ class ReachabilityGraph:
 
     def is_strongly_connected(self) -> bool:
         """True if every marking can reach every other marking."""
+        self._ensure_materialized()
         if not self._successors:
             return False
         start = next(iter(self._successors))
@@ -167,6 +215,142 @@ class ReachabilityGraph:
                     seen.add(source)
                     frontier.append(source)
         return seen
+
+    # ------------------------------------------------------------------ #
+    # Index-space view (the compiled state-based substrate)
+    # ------------------------------------------------------------------ #
+
+    def indexed(self) -> "IndexedGraph":
+        """Integer-index view of the graph for the compiled state-based flow.
+
+        Markings become dense indices in discovery order, transitions become
+        the compiled transition indices (or the net's declaration order for
+        reference-built graphs), adjacency becomes index pairs, and the
+        enabled set of every marking becomes a bitmask over transition
+        indices.  The view is built once and cached; graphs built by the
+        bit-packed kernel reuse the kernel's own payload, graphs built by the
+        dict-based fallback are indexed from their adjacency dicts, so every
+        downstream consumer (encoding, regions, coding, consistency) runs the
+        same integer algorithms regardless of how the graph was produced.
+        """
+        view = self._indexed
+        if view is None:
+            view = IndexedGraph(self)
+            self._indexed = view
+        return view
+
+
+class IndexedGraph:
+    """Dense-index payload of a :class:`ReachabilityGraph`.
+
+    ``marking_list[i]`` is the marking of state ``i`` (discovery order),
+    ``succ[i]`` / ``pred[i]`` hold ``(transition_index, state_index)`` pairs
+    in the same order as the name-based adjacency, ``enabled[i]`` is the
+    bitmask over transition indices of the transitions enabled at state
+    ``i``, and ``edges`` lists ``(source, transition, target)`` triples in
+    BFS firing order — the order in which the reference algorithms visit
+    them, which is what lets single passes over ``edges`` replace reference
+    BFS traversals exactly.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_marking_list",
+        "_index_of",
+        "transition_names",
+        "transition_index",
+        "edges",
+        "succ",
+        "pred",
+        "enabled",
+    )
+
+    def __init__(self, graph: ReachabilityGraph):
+        self._graph = graph
+        self._marking_list: Optional[list[Marking]] = None
+        self._index_of: Optional[dict[Marking, int]] = None
+        compiled = graph._compiled
+        if (
+            compiled is not None
+            and graph._packed_edges is not None
+            and graph._packed_enabled is not None
+        ):
+            # Marking objects stay deferred: purely packed consumers never
+            # touch `marking_list`/`index_of`, so the unpacking cost is only
+            # paid by name-based boundary queries.
+            self.transition_names = compiled.transition_names
+            self.transition_index = compiled.transition_index
+            self.edges = graph._packed_edges
+            self.enabled = graph._packed_enabled
+        else:
+            graph._ensure_materialized()
+            self._marking_list = list(graph._successors)
+            names = graph.net.transitions
+            self.transition_names = names
+            self.transition_index = {name: i for i, name in enumerate(names)}
+            index_of = {m: i for i, m in enumerate(self._marking_list)}
+            tindex = self.transition_index
+            edges: list[tuple[int, int, int]] = []
+            enabled: list[int] = []
+            for source, marking in enumerate(self._marking_list):
+                mask = 0
+                for label, target in graph._successors[marking]:
+                    t = tindex[label]
+                    mask |= 1 << t
+                    edges.append((source, t, index_of[target]))
+                enabled.append(mask)
+            self.edges = edges
+            self.enabled = enabled
+            self._index_of = index_of
+        succ: list[list[tuple[int, int]]] = [[] for _ in self.enabled]
+        pred: list[list[tuple[int, int]]] = [[] for _ in self.enabled]
+        for source, transition, target in self.edges:
+            succ[source].append((transition, target))
+            pred[target].append((transition, source))
+        self.succ = succ
+        self.pred = pred
+
+    @property
+    def marking_list(self) -> list[Marking]:
+        """Markings by state index (materializes the name-based view)."""
+        markings = self._marking_list
+        if markings is None:
+            self._graph._ensure_materialized()
+            markings = self._graph._marking_list
+            self._marking_list = markings
+        return markings
+
+    @property
+    def index_of(self) -> dict[Marking, int]:
+        """Marking → state index (materializes the name-based view)."""
+        index_of = self._index_of
+        if index_of is None:
+            index_of = {m: i for i, m in enumerate(self.marking_list)}
+            self._index_of = index_of
+        return index_of
+
+    def __len__(self) -> int:
+        return len(self.enabled)
+
+    def signal_transition_masks(self, stg) -> dict[str, int]:
+        """Per-signal bitmask over this graph's transition indices.
+
+        ``stg`` is anything with ``signal_names`` and
+        ``transitions_of_signal``; transitions the net does not know about
+        simply contribute no bit.  Shared by the region, coding and
+        consistency algorithms so the indexing convention lives in one
+        place.
+        """
+        tindex = self.transition_index
+        masks: dict[str, int] = {}
+        for signal in stg.signal_names:
+            mask = 0
+            for name in stg.transitions_of_signal(signal):
+                t = tindex.get(name)
+                if t is not None:
+                    mask |= 1 << t
+            masks[signal] = mask
+        return masks
 
 
 def build_reachability_graph(
@@ -202,25 +386,11 @@ def build_reachability_graph(
     except UnsafeNetError:
         return _reference_build_reachability_graph(net, start, max_markings)
     graph = ReachabilityGraph(net, start)
-    unpack = compiled.unpack
-    markings = [start]
-    markings.extend(unpack(bits) for bits in order[1:])
-    successors = graph._successors
-    predecessors = graph._predecessors
-    for marking in markings:
-        successors[marking] = []
-        predecessors[marking] = []
-    transition_names = compiled.transition_names
-    for source, transition, target in edges:
-        label = transition_names[transition]
-        source_marking = markings[source]
-        target_marking = markings[target]
-        successors[source_marking].append((label, target_marking))
-        predecessors[target_marking].append((label, source_marking))
     graph._compiled = compiled
     graph._packed = order
     graph._packed_enabled = enabled
-    graph._marking_list = markings
+    graph._packed_edges = edges
+    graph._materialized = False
     return graph
 
 
@@ -310,8 +480,9 @@ def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> d
     reachability graph — the oracle for the structural cover-cube tests.
     """
     compiled = graph._compiled
-    if compiled is None or graph._packed is None or graph._marking_list is None:
+    if compiled is None or graph._packed is None:
         return _reference_marking_sets_of_places(graph, places)
+    graph._ensure_materialized()
     result: dict[str, set[Marking]] = {place: set() for place in places}
     packed = graph._packed
     marking_list = graph._marking_list

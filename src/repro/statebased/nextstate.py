@@ -9,14 +9,18 @@ binary code to:
 
 For a consistent STG satisfying CSC, the three sets are a consistent
 partition of the Boolean space (no code is claimed both 0 and 1).
+
+The on/off sets are assembled as bitset unions over state indices and
+converted to covers of packed minterm cubes in one pass; the membership
+test of :func:`next_state_value` is two mask probes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
+from repro.petri.marking import Marking
 from repro.statebased.regions import SignalRegions, compute_signal_regions
 from repro.stg.stg import STG
 
@@ -29,12 +33,14 @@ def next_state_function(
     """The incompletely specified next-state function of one signal."""
     if regions is None:
         regions = compute_signal_regions(stg, signals=[signal])
-    on_markings = regions.ger(signal, "+") | regions.gqr(signal, 1)
-    off_markings = regions.ger(signal, "-") | regions.gqr(signal, 0)
-    on_set = regions.codes_of(on_markings)
-    off_set = regions.codes_of(off_markings)
+    on_bits = regions.ger_bits(signal, "+") | regions.gqr_bits(signal, 1)
+    off_bits = regions.ger_bits(signal, "-") | regions.gqr_bits(signal, 0)
+    on_set = regions.codes_of(on_bits)
+    off_set = regions.codes_of(off_bits)
     variables = stg.signal_names
-    dc_set = Cover.universe(variables).sharp(on_set).sharp(off_set)
+    dc_set = regions.encoded.complement_cover_of_codes(
+        regions.code_set(on_bits) | regions.code_set(off_bits)
+    )
     return BooleanFunction(on_set, off_set, dc_set, variables, name=signal)
 
 
@@ -52,15 +58,41 @@ def next_state_functions(
     }
 
 
+def implied_value_bitsets(
+    regions: SignalRegions, signals: list[str]
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Per-signal (on, off) state-index bitsets of the implied next value.
+
+    A state implies 1 for a signal when it lies in ``GER(+) ∪ GQR(1)``, 0
+    when in ``GER(-) ∪ GQR(0)``, nothing otherwise.  This is the bulk form
+    of :func:`next_state_value`, shared by the speed-independence verifier
+    and the differential ``compare()`` mode so the definition lives in one
+    place.
+    """
+    on_bits = {
+        s: regions.ger_bits(s, "+") | regions.gqr_bits(s, 1) for s in signals
+    }
+    off_bits = {
+        s: regions.ger_bits(s, "-") | regions.gqr_bits(s, 0) for s in signals
+    }
+    return on_bits, off_bits
+
+
 def next_state_value(
     stg: STG,
     regions: SignalRegions,
     signal: str,
-    marking,
+    marking: Union[Marking, int],
 ) -> Optional[int]:
-    """Implied next-state value of a signal at one reachable marking."""
-    if marking in regions.ger(signal, "+") or marking in regions.gqr(signal, 1):
+    """Implied next-state value of a signal at one reachable marking.
+
+    ``marking`` may be a :class:`~repro.petri.marking.Marking` or a state
+    index of the encoded reachability graph.
+    """
+    index = marking if isinstance(marking, int) else regions.encoded.index(marking)
+    bit = 1 << index
+    if (regions.ger_bits(signal, "+") | regions.gqr_bits(signal, 1)) & bit:
         return 1
-    if marking in regions.ger(signal, "-") or marking in regions.gqr(signal, 0):
+    if (regions.ger_bits(signal, "-") | regions.gqr_bits(signal, 0)) & bit:
         return 0
     return None

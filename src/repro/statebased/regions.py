@@ -1,7 +1,6 @@
 """Exact signal regions computed from the encoded reachability graph.
 
-Implements the region definitions of Section II-C as explicit sets of
-reachable markings:
+Implements the region definitions of Section II-C:
 
 * ``ER(t)`` — excitation region: markings enabling transition ``t``;
 * ``QR(t)`` — quiescent region: maximal set of markings reached from
@@ -16,59 +15,137 @@ reachable markings:
 * generalized regions ``GER`` / ``GQR`` as unions over a signal's
   transitions.
 
-Each region can be converted to a cover of binary codes with
-:meth:`SignalRegions.codes_of`.
+Representation: every region is a *bitset over state indices* (one int per
+region, bit ``i`` set iff state ``i`` of the encoded reachability graph
+belongs to the region).  Region algebra — unions for the generalized
+regions, the RQR subtraction, the membership tests of the next-state
+functions — is mask and/or/and-not arithmetic, and the closures that build
+QR/BR walk the indexed adjacency of the graph guarded by per-signal
+transition masks.  The historical set-of-:class:`Marking` accessors
+(:meth:`SignalRegions.er` …) are retained as boundary shims that materialise
+fresh sets on demand; the dict-based closure algorithms are retained as
+``_reference_*`` oracles for the differential tests.
+
+Each region converts to a cover of binary codes with
+:meth:`SignalRegions.codes_of`, which emits packed minterm cubes straight
+from the per-state code ints.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from repro.boolean.cover import Cover
 from repro.petri.marking import Marking
 from repro.stg.encoding import EncodedReachabilityGraph, encode_reachability_graph
 from repro.stg.stg import STG
 
+RegionLike = Union[int, Iterable[Marking]]
 
-@dataclass
+
 class SignalRegions:
-    """All signal regions of one STG, computed state-based."""
+    """All signal regions of one STG, computed state-based.
 
-    stg: STG
-    encoded: EncodedReachabilityGraph
-    excitation: dict[str, set[Marking]] = field(default_factory=dict)
-    quiescent: dict[str, set[Marking]] = field(default_factory=dict)
-    restricted_quiescent: dict[str, set[Marking]] = field(default_factory=dict)
-    backward: dict[str, set[Marking]] = field(default_factory=dict)
+    Internally every region is one int (a bitset over state indices); use
+    the ``*_bits`` accessors in hot loops and the name-based accessors at
+    API boundaries.
+    """
+
+    __slots__ = (
+        "stg",
+        "encoded",
+        "_er",
+        "_qr",
+        "_rqr",
+        "_br",
+        "_ger_cache",
+        "_gqr_cache",
+    )
+
+    def __init__(self, stg: STG, encoded: EncodedReachabilityGraph):
+        self.stg = stg
+        self.encoded = encoded
+        self._er: dict[str, int] = {}
+        self._qr: dict[str, int] = {}
+        self._rqr: dict[str, int] = {}
+        self._br: dict[str, int] = {}
+        self._ger_cache: dict[tuple[str, str], int] = {}
+        self._gqr_cache: dict[tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------ #
-    # Region accessors
+    # Bitset accessors (non-copying)
+    # ------------------------------------------------------------------ #
+
+    def er_bits(self, transition: str) -> int:
+        """Excitation region of a transition as a state-index bitset."""
+        return self._er[transition]
+
+    def qr_bits(self, transition: str) -> int:
+        """Quiescent region bitset."""
+        return self._qr[transition]
+
+    def rqr_bits(self, transition: str) -> int:
+        """Restricted quiescent region bitset."""
+        return self._rqr[transition]
+
+    def br_bits(self, transition: str) -> int:
+        """Backward quiescent region bitset."""
+        return self._br[transition]
+
+    def ger_bits(self, signal: str, direction: str) -> int:
+        """Generalized excitation region bitset (cached union).
+
+        Raises ``KeyError`` for signals excluded from the computation
+        (mirroring the historical dict-of-sets accessors).
+        """
+        key = (signal, direction)
+        bits = self._ger_cache.get(key)
+        if bits is None:
+            bits = 0
+            for transition in self.stg.transitions_by_direction(signal, direction):
+                bits |= self._er[transition]
+            self._ger_cache[key] = bits
+        return bits
+
+    def gqr_bits(self, signal: str, value: int) -> int:
+        """Generalized quiescent region bitset (cached union).
+
+        Raises ``KeyError`` for signals excluded from the computation.
+        """
+        key = (signal, value)
+        bits = self._gqr_cache.get(key)
+        if bits is None:
+            direction = "+" if value == 1 else "-"
+            bits = 0
+            for transition in self.stg.transitions_by_direction(signal, direction):
+                bits |= self._qr[transition]
+            self._gqr_cache[key] = bits
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # Name-based region accessors (boundary shims; fresh sets)
     # ------------------------------------------------------------------ #
 
     def er(self, transition: str) -> set[Marking]:
         """Excitation region of a transition."""
-        return set(self.excitation[transition])
+        return self.encoded.markings_of_bits(self._er[transition])
 
     def qr(self, transition: str) -> set[Marking]:
         """Quiescent region of a transition."""
-        return set(self.quiescent[transition])
+        return self.encoded.markings_of_bits(self._qr[transition])
 
     def rqr(self, transition: str) -> set[Marking]:
         """Restricted quiescent region of a transition."""
-        return set(self.restricted_quiescent[transition])
+        return self.encoded.markings_of_bits(self._rqr[transition])
 
     def br(self, transition: str) -> set[Marking]:
         """Backward quiescent region of a transition."""
-        return set(self.backward[transition])
+        return self.encoded.markings_of_bits(self._br[transition])
 
     def ger(self, signal: str, direction: str) -> set[Marking]:
         """Generalized excitation region GER(signal direction)."""
-        result: set[Marking] = set()
-        for transition in self.stg.transitions_by_direction(signal, direction):
-            result |= self.excitation[transition]
-        return result
+        return self.encoded.markings_of_bits(self.ger_bits(signal, direction))
 
     def gqr(self, signal: str, value: int) -> set[Marking]:
         """Generalized quiescent region GQR(signal = value).
@@ -76,46 +153,204 @@ class SignalRegions:
         ``value=1`` is the union of the quiescent regions of the rising
         transitions, ``value=0`` of the falling transitions.
         """
-        direction = "+" if value == 1 else "-"
-        result: set[Marking] = set()
-        for transition in self.stg.transitions_by_direction(signal, direction):
-            result |= self.quiescent[transition]
-        return result
+        return self.encoded.markings_of_bits(self.gqr_bits(signal, value))
+
+    @property
+    def excitation(self) -> dict[str, set[Marking]]:
+        """Materialised ER map (copies; kept for API compatibility)."""
+        return {t: self.er(t) for t in self._er}
+
+    @property
+    def quiescent(self) -> dict[str, set[Marking]]:
+        """Materialised QR map (copies)."""
+        return {t: self.qr(t) for t in self._qr}
+
+    @property
+    def restricted_quiescent(self) -> dict[str, set[Marking]]:
+        """Materialised RQR map (copies)."""
+        return {t: self.rqr(t) for t in self._rqr}
+
+    @property
+    def backward(self) -> dict[str, set[Marking]]:
+        """Materialised BR map (copies)."""
+        return {t: self.br(t) for t in self._br}
 
     # ------------------------------------------------------------------ #
     # Binary-code conversions
     # ------------------------------------------------------------------ #
 
-    def codes_of(self, markings: set[Marking]) -> Cover:
-        """Characteristic cover (set of minterms) of a set of markings."""
-        signals = self.stg.signal_names
-        vertices = [self.encoded.code_of(m) for m in markings]
-        return Cover.from_vertices(vertices, signals)
+    def codes_of(self, markings: RegionLike) -> Cover:
+        """Characteristic cover of a region (bitset or marking collection)."""
+        if isinstance(markings, int):
+            bits = markings
+        else:
+            bits = self.encoded.bits_of(markings)
+        return self.encoded.cover_of_bits(bits)
 
     def er_codes(self, transition: str) -> Cover:
         """Binary codes of ER(t)."""
-        return self.codes_of(self.excitation[transition])
+        return self.encoded.cover_of_bits(self._er[transition])
 
     def qr_codes(self, transition: str) -> Cover:
         """Binary codes of QR(t)."""
-        return self.codes_of(self.quiescent[transition])
+        return self.encoded.cover_of_bits(self._qr[transition])
 
     def ger_codes(self, signal: str, direction: str) -> Cover:
         """Binary codes of GER(signal direction)."""
-        return self.codes_of(self.ger(signal, direction))
+        return self.encoded.cover_of_bits(self.ger_bits(signal, direction))
 
     def gqr_codes(self, signal: str, value: int) -> Cover:
         """Binary codes of GQR(signal = value)."""
-        return self.codes_of(self.gqr(signal, value))
+        return self.encoded.cover_of_bits(self.gqr_bits(signal, value))
+
+    def used_code_set(self) -> set[int]:
+        """Distinct packed codes of all reachable markings."""
+        return set(self.encoded.packed_codes)
+
+    def code_set(self, bits: int) -> set[int]:
+        """Distinct packed codes of a state-index bitset."""
+        return self.encoded.code_set_of_bits(bits)
 
     def dc_codes(self) -> Cover:
-        """Binary codes NOT used by any reachable marking (the RG dc-set)."""
-        signals = self.stg.signal_names
-        used = self.codes_of(set(self.encoded.markings))
-        return Cover.universe(signals).sharp(used)
+        """Binary codes NOT used by any reachable marking (the RG dc-set).
+
+        Computed as the direct orthogonal complement of the used code set —
+        the same minterm semantics as ``universe.sharp(used_codes)`` at a
+        fraction of the cost.
+        """
+        return self.encoded.complement_cover_of_codes(self.used_code_set())
 
 
-def _quiescent_region(
+def compute_signal_regions(
+    stg: STG,
+    encoded: Optional[EncodedReachabilityGraph] = None,
+    signals: Optional[list[str]] = None,
+    compute_backward: bool = True,
+) -> SignalRegions:
+    """Compute all signal regions of an STG from its reachability graph.
+
+    Works entirely in index space: excitation regions fall out of the
+    per-state enabled masks, QR/BR are bitset closures over the indexed
+    adjacency, and RQR is a mask subtraction.
+    """
+    if encoded is None:
+        encoded = encode_reachability_graph(stg)
+    indexed = encoded.indexed()
+    regions = SignalRegions(stg, encoded)
+    selected_signals = set(signals) if signals is not None else set(stg.signal_names)
+
+    tindex = indexed.transition_index
+    enabled = indexed.enabled
+    succ = indexed.succ
+    pred = indexed.pred
+
+    signal_tmask = indexed.signal_transition_masks(stg)
+
+    # ER(t) for every transition of the selected signals, in one sweep over
+    # the enabled masks.
+    selected_tbits = 0
+    for signal in selected_signals:
+        selected_tbits |= signal_tmask.get(signal, 0)
+    er_by_index: dict[int, int] = {}
+    for i, mask in enumerate(enabled):
+        mask &= selected_tbits
+        state_bit = 1 << i
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            t = low.bit_length() - 1
+            er_by_index[t] = er_by_index.get(t, 0) | state_bit
+
+    # Post-firing start states per transition (edge targets).
+    targets_by_index: dict[int, list[int]] = {}
+    for _, t, target in indexed.edges:
+        if selected_tbits >> t & 1:
+            targets_by_index.setdefault(t, []).append(target)
+
+    for transition in stg.transitions:
+        signal = stg.signal_of(transition)
+        if signal not in selected_signals:
+            continue
+        t = tindex.get(transition)
+        if t is None:
+            regions._er[transition] = 0
+            regions._qr[transition] = 0
+            regions._br[transition] = 0
+            continue
+        sig_mask = signal_tmask[signal]
+        regions._er[transition] = er_by_index.get(t, 0)
+
+        # QR(t): forward closure from the post-firing states, stopping at
+        # states that enable another transition of the signal.
+        region = 0
+        stack: list[int] = []
+        for start in targets_by_index.get(t, ()):
+            if enabled[start] & sig_mask:
+                continue
+            bit = 1 << start
+            if not region & bit:
+                region |= bit
+                stack.append(start)
+        while stack:
+            current = stack.pop()
+            for _, target in succ[current]:
+                bit = 1 << target
+                if region & bit:
+                    continue
+                if enabled[target] & sig_mask:
+                    continue
+                region |= bit
+                stack.append(target)
+        regions._qr[transition] = region
+
+        # BR(t): backward closure from ER(t), stopping at states that enable
+        # another transition of the signal (Appendix E).
+        if compute_backward:
+            other_mask = sig_mask & ~(1 << t)
+            excitation = regions._er[transition]
+            seen = excitation
+            region = 0
+            stack = []
+            bits = excitation
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                stack.append(low.bit_length() - 1)
+            while stack:
+                current = stack.pop()
+                for _, source in pred[current]:
+                    bit = 1 << source
+                    if seen & bit:
+                        continue
+                    source_enabled = enabled[source]
+                    if source_enabled & other_mask:
+                        continue
+                    seen |= bit
+                    stack.append(source)
+                    if not source_enabled >> t & 1:
+                        region |= bit
+            regions._br[transition] = region
+        else:
+            regions._br[transition] = 0
+
+    # Restricted quiescent regions: remove states shared with other QRs of
+    # the same signal.
+    for transition, quiescent in regions._qr.items():
+        signal = stg.signal_of(transition)
+        others = 0
+        for other in stg.transitions_of_signal(signal):
+            if other != transition and other in regions._qr:
+                others |= regions._qr[other]
+        regions._rqr[transition] = quiescent & ~others
+    return regions
+
+
+# ---------------------------------------------------------------------- #
+# Dict/set-based reference implementations (differential-test oracles)
+# ---------------------------------------------------------------------- #
+
+
+def _reference_quiescent_region(
     stg: STG,
     encoded: EncodedReachabilityGraph,
     transition: str,
@@ -123,7 +358,6 @@ def _quiescent_region(
     """Forward closure from the post-firing markings of a transition,
     stopping at markings that enable another transition of the signal."""
     graph = encoded.graph
-    signal = stg.signal_of(transition)
     signal_transitions = set(stg.transitions_of_signal(stg.signal_of(transition)))
     start_markings: list[Marking] = []
     for marking in graph.markings_enabling(transition):
@@ -149,11 +383,10 @@ def _quiescent_region(
                 continue
             region.add(target)
             frontier.append(target)
-    del signal  # kept for readability of the derivation above
     return region
 
 
-def _backward_region(
+def _reference_backward_region(
     stg: STG,
     encoded: EncodedReachabilityGraph,
     transition: str,
@@ -186,37 +419,35 @@ def _backward_region(
     return region
 
 
-def compute_signal_regions(
+def _reference_signal_region_sets(
     stg: STG,
-    encoded: Optional[EncodedReachabilityGraph] = None,
+    encoded: EncodedReachabilityGraph,
     signals: Optional[list[str]] = None,
     compute_backward: bool = True,
-) -> SignalRegions:
-    """Compute all signal regions of an STG from its reachability graph."""
-    if encoded is None:
-        encoded = encode_reachability_graph(stg)
+) -> dict[str, dict[str, set[Marking]]]:
+    """Reference region computation as plain dicts of marking sets."""
     graph = encoded.graph
-    regions = SignalRegions(stg=stg, encoded=encoded)
-    selected_signals = set(signals) if signals is not None else set(stg.signal_names)
-
+    selected = set(signals) if signals is not None else set(stg.signal_names)
+    er: dict[str, set[Marking]] = {}
+    qr: dict[str, set[Marking]] = {}
+    br: dict[str, set[Marking]] = {}
     for transition in stg.transitions:
-        if stg.signal_of(transition) not in selected_signals:
+        if stg.signal_of(transition) not in selected:
             continue
-        regions.excitation[transition] = set(graph.markings_enabling(transition))
-        regions.quiescent[transition] = _quiescent_region(stg, encoded, transition)
-        if compute_backward:
-            regions.backward[transition] = _backward_region(stg, encoded, transition)
-        else:
-            regions.backward[transition] = set()
-
-    # Restricted quiescent regions: remove markings shared with other QRs of
-    # the same signal.
-    for transition in list(regions.quiescent):
+        er[transition] = set(graph.markings_enabling(transition))
+        qr[transition] = _reference_quiescent_region(stg, encoded, transition)
+        br[transition] = (
+            _reference_backward_region(stg, encoded, transition)
+            if compute_backward
+            else set()
+        )
+    rqr: dict[str, set[Marking]] = {}
+    for transition in list(qr):
         signal = stg.signal_of(transition)
         others: set[Marking] = set()
         for other in stg.transitions_of_signal(signal):
-            if other == transition or other not in regions.quiescent:
+            if other == transition or other not in qr:
                 continue
-            others |= regions.quiescent[other]
-        regions.restricted_quiescent[transition] = regions.quiescent[transition] - others
-    return regions
+            others |= qr[other]
+        rqr[transition] = qr[transition] - others
+    return {"er": er, "qr": qr, "rqr": rqr, "br": br}

@@ -2,11 +2,18 @@
 
 This engine performs the explicit token-flow analysis that the structural
 flow avoids: the full reachability graph is generated and encoded, the exact
-signal regions are extracted as sets of markings, and the set/reset covers
-are minimized against the exact off-sets.  Its purpose in the reproduction is
-twofold: it is the correctness oracle of the test-suite, and it plays the
-role of the state-based comparators in Tables V–VII (its run time explodes
-with the number of markings while the structural engine's does not).
+signal regions are extracted, and the set/reset covers are minimized against
+the exact off-sets.  Its purpose in the reproduction is twofold: it is the
+correctness oracle of the test-suite, and it plays the role of the
+state-based comparators in Tables V–VII (its run time explodes with the
+number of markings while the structural engine's does not).
+
+The whole chain runs on the compiled state-based substrate: packed int
+codes computed during the BFS (:mod:`repro.stg.encoding`), bitset regions
+(:mod:`repro.statebased.regions`), mask-based USC/CSC grouping
+(:mod:`repro.statebased.coding`) and packed-cube region covers, so "explodes
+with the number of markings" now means machine-integer work per marking
+rather than dict churn per marking.
 """
 
 from __future__ import annotations
@@ -89,12 +96,13 @@ def synthesize_state_based(
     targets = signals if signals is not None else stg.non_input_signals
     regions = compute_signal_regions(stg, encoded, signals=targets)
     variables = tuple(stg.signal_names)
+    used_codes = regions.used_code_set()
     unreachable = regions.dc_codes()
 
     circuit = Circuit(name=stg.name, signal_order=variables)
     for signal in targets:
         circuit.implementations[signal] = _synthesize_signal(
-            stg, regions, signal, unreachable, allow_combinational
+            stg, regions, signal, used_codes, unreachable, allow_combinational
         )
     stats["seconds"] = time.perf_counter() - start
     return StateBasedResult(circuit=circuit, regions=regions, statistics=stats)
@@ -104,32 +112,37 @@ def _synthesize_signal(
     stg: STG,
     regions: SignalRegions,
     signal: str,
+    used_codes: set[int],
     unreachable: Cover,
     allow_combinational: bool,
 ):
-    """Derive the implementation of one signal from the exact regions."""
-    variables = tuple(stg.signal_names)
-    ger_plus = regions.ger_codes(signal, "+")
-    ger_minus = regions.ger_codes(signal, "-")
-    gqr_one = regions.gqr_codes(signal, 1)
-    gqr_zero = regions.gqr_codes(signal, 0)
+    """Derive the implementation of one signal from the exact regions.
+
+    On-sets stay exact minterm covers (they seed the expansion, so their
+    cube list is part of the minimizer's contract); off- and dc-sets are
+    compact merged covers with identical minterm semantics — the minimizer
+    only ever asks semantic questions of them.
+    """
+    encoded = regions.encoded
+    on_bits = regions.ger_bits(signal, "+") | regions.gqr_bits(signal, 1)
+    off_bits = regions.ger_bits(signal, "-") | regions.gqr_bits(signal, 0)
 
     if allow_combinational:
         # Complex gate per signal: a cover of the full next-state function.
-        on_set = ger_plus.union(gqr_one)
-        off_set = ger_minus.union(gqr_zero)
+        on_set = regions.codes_of(on_bits)
+        off_set = encoded.merged_cover_of_codes(regions.code_set(off_bits))
         cover = minimize_cover(on_set, off_set, unreachable)
         if check_cover_correctness(on_set, off_set, cover):
             # only keep the combinational form when it is actually cheaper
             set_candidate, reset_candidate = _set_reset_covers(
-                stg, regions, signal, unreachable
+                stg, regions, signal, used_codes
             )
             latch_cost = set_candidate.num_literals() + reset_candidate.num_literals() + 4
             if cover.num_literals() <= latch_cost:
                 return combinational_implementation(signal, cover)
             return latch_implementation(signal, set_candidate, reset_candidate)
 
-    set_cover, reset_cover = _set_reset_covers(stg, regions, signal, unreachable)
+    set_cover, reset_cover = _set_reset_covers(stg, regions, signal, used_codes)
     return latch_implementation(signal, set_cover, reset_cover)
 
 
@@ -137,18 +150,27 @@ def _set_reset_covers(
     stg: STG,
     regions: SignalRegions,
     signal: str,
-    unreachable: Cover,
+    used_codes: set[int],
 ) -> tuple[Cover, Cover]:
     """Minimized set and reset covers against the exact off-sets."""
+    encoded = regions.encoded
     ger_plus = regions.ger_codes(signal, "+")
     ger_minus = regions.ger_codes(signal, "-")
-    gqr_one = regions.gqr_codes(signal, 1)
-    gqr_zero = regions.gqr_codes(signal, 0)
+    gqr_one_codes = regions.code_set(regions.gqr_bits(signal, 1))
+    gqr_zero_codes = regions.code_set(regions.gqr_bits(signal, 0))
 
-    set_off = ger_minus.union(gqr_zero)
-    reset_off = ger_plus.union(gqr_one)
-    set_cover = minimize_cover(ger_plus, set_off, gqr_one.union(unreachable))
-    reset_cover = minimize_cover(ger_minus, reset_off, gqr_zero.union(unreachable))
+    set_off = encoded.merged_cover_of_codes(
+        regions.code_set(regions.ger_bits(signal, "-") | regions.gqr_bits(signal, 0))
+    )
+    reset_off = encoded.merged_cover_of_codes(
+        regions.code_set(regions.ger_bits(signal, "+") | regions.gqr_bits(signal, 1))
+    )
+    # dc = quiescent-region codes plus all unreachable codes, i.e. the
+    # complement of the used codes outside the quiescent region
+    set_dc = encoded.complement_cover_of_codes(used_codes - gqr_one_codes)
+    reset_dc = encoded.complement_cover_of_codes(used_codes - gqr_zero_codes)
+    set_cover = minimize_cover(ger_plus, set_off, set_dc)
+    reset_cover = minimize_cover(ger_minus, reset_off, reset_dc)
 
     if not check_monotonicity_state_based(stg, regions, signal, set_cover, "+"):
         set_cover = ger_plus

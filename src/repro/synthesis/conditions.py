@@ -177,25 +177,35 @@ def check_monotonicity_state_based(
     along any path from the excitation region must be covered too.
     """
     value = 1 if direction == "+" else 0
-    quiescent = regions.gqr(signal, value)
-    excitation = regions.ger(signal, direction)
+    quiescent = regions.gqr_bits(signal, value)
+    excitation = regions.ger_bits(signal, direction)
     encoded = regions.encoded
-    graph = encoded.graph
+    indexed = encoded.indexed()
+    pred = indexed.pred
+    codes = encoded.packed_codes
+    cube_masks = [(cube.care_mask, cube.value_mask) for cube in cover]
     violations: list[str] = []
     region = quiescent | excitation
-    for marking in quiescent:
-        if not cover.covers_vertex(encoded.code_of(marking)):
+    pending = quiescent
+    while pending:
+        low = pending & -pending
+        pending ^= low
+        state = low.bit_length() - 1
+        code = codes[state]
+        if not any(code & care == val for care, val in cube_masks):
             continue
         # every predecessor inside the region must also be covered
-        for _, source in graph.predecessors(marking):
-            if source not in region:
+        for _, source in pred[state]:
+            source_bit = 1 << source
+            if not region & source_bit:
                 continue
-            if source in excitation:
+            if excitation & source_bit:
                 continue
-            if not cover.covers_vertex(encoded.code_of(source)):
+            source_code = codes[source]
+            if not any(source_code & care == val for care, val in cube_masks):
                 violations.append(
                     f"{signal}{direction}: cover rises again inside the "
-                    f"quiescent region at {marking}"
+                    f"quiescent region at {indexed.marking_list[state]}"
                 )
                 break
     return ConditionReport(not violations, violations)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.statebased.nextstate import next_state_value
+from repro.statebased.nextstate import implied_value_bitsets
 from repro.statebased.regions import SignalRegions, compute_signal_regions
 from repro.stg.encoding import encode_reachability_graph
 from repro.stg.stg import STG
@@ -68,14 +68,31 @@ def verify_speed_independence(
     functional: list[str] = []
     hazards: list[str] = []
 
-    for marking in encoded.markings:
-        code = encoded.code_of(marking)
+    # Per-signal implied-value bitsets and a per-distinct-code evaluation
+    # cache: the circuit is evaluated once per (signal, code) instead of
+    # once per (signal, marking).
+    on_bits, off_bits = implied_value_bitsets(regions, targets)
+    packed = encoded.packed_codes
+    value_cache: dict[tuple[str, int], int] = {}
+    for index in range(len(packed)):
+        code_int = packed[index]
+        state_bit = 1 << index
         for signal in targets:
-            implied = next_state_value(stg, regions, signal, marking)
-            if implied is None:
+            if on_bits[signal] & state_bit:
+                implied = 1
+            elif off_bits[signal] & state_bit:
+                implied = 0
+            else:
                 continue
-            actual = circuit.next_value(signal, code)
+            key = (signal, code_int)
+            actual = value_cache.get(key)
+            if actual is None:
+                actual = circuit.next_value(
+                    signal, encoded.code_dict_of_int(code_int)
+                )
+                value_cache[key] = actual
             if actual != implied:
+                marking = encoded.marking_list[index]
                 functional.append(
                     f"signal {signal}: circuit produces {actual}, specification "
                     f"implies {implied} at marking {marking} (code "
@@ -101,6 +118,6 @@ def verify_speed_independence(
         speed_independent=not functional and not hazards,
         functional_errors=functional,
         hazard_errors=hazards,
-        checked_markings=len(encoded.markings),
+        checked_markings=len(encoded),
         checked_signals=list(targets),
     )
