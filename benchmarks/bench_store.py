@@ -1,0 +1,143 @@
+"""Batch throughput of the durable workspace: cold vs. warm store vs. server.
+
+PR 5's claim is architectural: once a spec's artifacts are persisted in the
+content-addressed store, every later consumer — a fresh process, a batch
+worker, a request against the long-lived daemon — pays (almost) nothing for
+the synthesis front-end.  This bench quantifies that by pushing the classic
+registry suite through three flavours of the same pipeline:
+
+* **cold store** — empty store, every stage computed and persisted;
+* **warm store** — a *fresh* pipeline over the now-populated store: every
+  stage resolves from disk (``stage_calls`` is asserted zero);
+* **warm server** — the same store behind ``repro serve``, driven through
+  :class:`repro.api.client.Client` over HTTP (adds request plumbing and
+  report re-serialization on top of the warm-store path).
+
+The rows land in ``BENCH_PR5.json`` as specs/sec plus per-flavour seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api import Pipeline, Spec, SynthesisOptions
+from repro.api.client import Client
+from repro.api.server import create_server
+from repro.benchmarks.classic import classic_names
+
+#: every registry benchmark the suite synthesizes end-to-end in tests
+def _suite() -> list[str]:
+    names = classic_names(synthesizable_only=True)
+    names += ["glatch_3", "glatch_5", "muller_pipeline_2", "philosophers_3"]
+    return names
+
+
+def _run_suite(pipeline: Pipeline, names: list[str]) -> int:
+    options = SynthesisOptions(assume_csc=True)
+    literals = 0
+    for name in names:
+        report = pipeline.run(name, options, map_technology=True)
+        literals += report.literals
+    return literals
+
+
+def test_store_batch_throughput(benchmark, perf_record, print_table, tmp_path):
+    names = _suite()
+    store = tmp_path / "store"
+
+    # --- cold: compute + persist everything -------------------------------- #
+    start = time.perf_counter()
+    cold_pipeline = Pipeline(store=store)
+    cold_literals = _run_suite(cold_pipeline, names)
+    cold_seconds = time.perf_counter() - start
+
+    # --- warm store: a fresh process-equivalent pipeline -------------------- #
+    def warm_run():
+        pipeline = Pipeline(store=store)
+        literals = _run_suite(pipeline, names)
+        return literals, pipeline
+
+    warm_literals, warm_pipeline = benchmark.pedantic(
+        warm_run, iterations=1, rounds=1
+    )
+    start = time.perf_counter()
+    warm_run()
+    warm_seconds = time.perf_counter() - start
+
+    assert warm_literals == cold_literals
+    assert sum(warm_pipeline.stage_calls.values()) == 0, "warm store must compute nothing"
+
+    # --- warm server: the same store behind the HTTP daemon ----------------- #
+    server = create_server(port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+        # prime the server's in-memory cache (store-resolved)
+        server_literals = 0
+        for name in names:
+            server_literals += client.synthesize(
+                name, assume_csc=True, map_technology=True
+            ).report.literals
+        start = time.perf_counter()
+        for name in names:
+            result = client.synthesize(name, assume_csc=True, map_technology=True)
+            assert result.cached
+        server_seconds = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    assert server_literals == cold_literals
+
+    count = len(names)
+    rows = [
+        {
+            "flavour": "cold store (compute + persist)",
+            "seconds": round(cold_seconds, 3),
+            "specs_per_s": round(count / cold_seconds, 1) if cold_seconds else None,
+        },
+        {
+            "flavour": "warm store (fresh pipeline, disk hits)",
+            "seconds": round(warm_seconds, 3),
+            "specs_per_s": round(count / warm_seconds, 1) if warm_seconds else None,
+        },
+        {
+            "flavour": "warm server (HTTP round trips)",
+            "seconds": round(server_seconds, 3),
+            "specs_per_s": round(count / server_seconds, 1) if server_seconds else None,
+        },
+    ]
+    print_table(rows, title=f"Durable workspace — {count}-spec suite throughput")
+    store_stats = warm_pipeline.store.stats()
+    perf_record["results"]["store"] = {
+        "specs": count,
+        "cold_store_s": round(cold_seconds, 4),
+        "warm_store_s": round(warm_seconds, 4),
+        "warm_server_s": round(server_seconds, 4),
+        "cold_specs_per_s": round(count / cold_seconds, 2) if cold_seconds else None,
+        "warm_specs_per_s": round(count / warm_seconds, 2) if warm_seconds else None,
+        "server_specs_per_s": round(count / server_seconds, 2) if server_seconds else None,
+        "warm_vs_cold_speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds
+        else None,
+        "store_entries": store_stats["entries"],
+        "store_bytes": store_stats["bytes"],
+    }
+
+
+def test_store_smoke(benchmark, tmp_path):
+    """CI smoke case: one spec cold, then warm with zero computations."""
+    store = tmp_path / "store"
+    options = SynthesisOptions(assume_csc=True)
+    Pipeline(store=store).run("sequencer", options, map_technology=True)
+
+    def warm():
+        pipeline = Pipeline(store=store)
+        report = pipeline.run("sequencer", options, map_technology=True)
+        assert sum(pipeline.stage_calls.values()) == 0
+        return report.literals
+
+    literals = benchmark.pedantic(warm, iterations=1, rounds=3)
+    assert literals > 0

@@ -7,12 +7,13 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR4.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR5.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
 recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
 unified API; PR3 gate-netlist construction and gate-level differential
 verification; PR4 the compiled state-based engine and bit-parallel mapped
-verification from ``bench_statebased.py``).
+verification; PR5 the durable-workspace batch throughput from
+``bench_store.py``: cold store vs. warm store vs. warm server).
 """
 
 from __future__ import annotations
@@ -76,18 +77,20 @@ _REQUIRED_SECTIONS = (
     "fig13_pipeline",
     "mapping",
     "statebased",
+    "store",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR4.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR5.json on teardown."""
     record: dict = {
-        "pr": 4,
+        "pr": 5,
         "kernel": (
-            "compiled state-based engine (packed int state codes, bitset "
-            "regions, mask-based coding/consistency) and bit-parallel "
-            "mapped-netlist verification on the bit-packed kernel"
+            "durable workspace: lossless artifact JSON, content-addressed "
+            "on-disk store backing the pipeline cache, process-pool "
+            "scheduler, and the repro-serve HTTP daemon, all on the "
+            "compiled PR4 engine"
         ),
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -139,4 +142,11 @@ def perf_record(request):
     if verification.get("speedup_vs_pr3"):
         speedups_pr3["verify_mapped_throughput"] = verification["speedup_vs_pr3"]
     record["speedup_vs_pr3"] = speedups_pr3
-    write_perf_record(repo_root / "BENCH_PR4.json", record)
+    store_results = record["results"].get("store", {})
+    if store_results.get("warm_vs_cold_speedup"):
+        record["store_throughput"] = {
+            "warm_vs_cold_speedup": store_results["warm_vs_cold_speedup"],
+            "warm_specs_per_s": store_results.get("warm_specs_per_s"),
+            "server_specs_per_s": store_results.get("server_specs_per_s"),
+        }
+    write_perf_record(repo_root / "BENCH_PR5.json", record)

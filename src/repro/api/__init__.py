@@ -13,11 +13,20 @@ public surface around three concepts:
   *differential* mode :func:`compare` that runs both and cross-checks the
   circuits' next-state functions.
 
+Since PR 5 the API is *durable*: every artifact is losslessly
+JSON-serializable, a content-addressed on-disk store
+(:class:`~repro.api.store.ArtifactStore`) can back the pipeline cache so
+results survive processes, a :class:`~repro.api.scheduler.Scheduler` runs
+batches through a process pool with structured progress events, and the
+whole pipeline can be served as a long-lived HTTP daemon
+(``python -m repro serve`` / :class:`repro.api.client.Client`).
+
 Convenience entry points::
 
     from repro.api import run, compare, synthesize_many
 
     report = run("sequencer", level=5, verify=True)      # one spec
+    report = run("sequencer", store="~/.cache/repro")    # durable artifacts
     reports = synthesize_many(["fig1", "sequencer"], jobs=4)
     diff = compare("muller_pipeline_4")                  # both backends
 
@@ -48,8 +57,12 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.batch import synthesize_many
+from repro.api.client import Client, ClientError
+from repro.api.events import Event, EventLog, progress_printer
 from repro.api.pipeline import Pipeline
+from repro.api.scheduler import Job, JobResult, Scheduler, make_jobs
 from repro.api.spec import Spec, SpecError, SpecLike
+from repro.api.store import ArtifactStore, default_store_path, get_store
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
 
 
@@ -65,19 +78,28 @@ def run(
     max_markings: Optional[int] = None,
     options: Optional[SynthesisOptions] = None,
     pipeline: Optional[Pipeline] = None,
+    store=None,
 ) -> Report:
     """One-call spec-to-circuit synthesis returning a typed :class:`Report`.
 
     ``options`` overrides the individual ``level``/``assume_csc`` knobs;
-    pass a ``pipeline`` to share cached artifacts across calls.
-    ``verify_mapped`` differentially checks the mapped gate-level netlist
-    (implies ``map_technology``); ``library`` selects the gate library (a
-    :class:`repro.gates.GateLibrary`, a built-in name, or a JSON path).
+    pass a ``pipeline`` to share cached artifacts across calls, or ``store``
+    (an :class:`ArtifactStore` or a path) to persist and reuse artifacts
+    across processes.  ``verify_mapped`` differentially checks the mapped
+    gate-level netlist (implies ``map_technology``); ``library`` selects the
+    gate library (a :class:`repro.gates.GateLibrary`, a built-in name, or a
+    JSON path).
     """
     if options is None:
         options = SynthesisOptions(level=level, assume_csc=assume_csc)
     if pipeline is None:
-        pipeline = Pipeline()
+        pipeline = Pipeline(store=store)
+    elif store is not None:
+        # an explicitly requested store wins over (and is attached to) the
+        # reused pipeline — same contract as the Scheduler
+        resolved = get_store(store)
+        if pipeline.store is not resolved:
+            pipeline.store = resolved
     return pipeline.run(
         spec,
         options,
@@ -92,14 +114,22 @@ def run(
 
 __all__ = [
     "AnalysisArtifact",
+    "ArtifactStore",
     "Backend",
     "BACKEND_NAMES",
+    "Client",
+    "ClientError",
     "ComparisonReport",
+    "Event",
+    "EventLog",
+    "Job",
+    "JobResult",
     "MappedVerificationArtifact",
     "MappingArtifact",
     "Pipeline",
     "RefinementArtifact",
     "Report",
+    "Scheduler",
     "Spec",
     "SpecError",
     "SpecLike",
@@ -110,7 +140,11 @@ __all__ = [
     "SynthesisOptions",
     "VerificationArtifact",
     "compare",
+    "default_store_path",
     "get_backend",
+    "get_store",
+    "make_jobs",
+    "progress_printer",
     "register_backend",
     "run",
     "synthesize_many",

@@ -69,6 +69,9 @@ class StructuralBackend:
                 "would be required (pass assume_csc=True to override after an "
                 "external CSC check)"
             )
+        # a refinement loaded from the artifact store rebuilds its
+        # approximation object (refined cover functions) on demand
+        refinement.ensure_handles(spec.stg)
         start = time.perf_counter()
         result = _structural_synthesize(
             spec.stg, options, approximation=refinement.approximation

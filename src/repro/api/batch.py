@@ -1,62 +1,28 @@
 """Batch execution: many specs through one pipeline, optionally in parallel.
 
-``synthesize_many`` is the fan-out entry point the scaling roadmap builds
-on: it normalizes every input through :class:`~repro.api.spec.Spec`, shares
-one artifact cache across the batch when running sequentially (duplicate
-specs are synthesized once), and can fan out over a process pool.  Workers
-receive pickled specs (the canonical ``.g`` text — the STG is re-parsed in
-the worker) and return full :class:`~repro.api.artifacts.Report` objects,
-whose circuits re-pack their cube masks on unpickling in the parent's
-variable-interner order.
+``synthesize_many`` is the fan-out entry point of the scaling roadmap.  It
+is now a thin wrapper over :class:`repro.api.scheduler.Scheduler`: every
+input is normalized through :class:`~repro.api.spec.Spec`, sequential runs
+share one artifact cache (duplicate specs are synthesized once), parallel
+runs fan out over a process pool, and — new since PR 5 — a durable
+:class:`~repro.api.store.ArtifactStore` can back the whole batch so workers
+and later processes share persisted stage artifacts, while an ``on_event``
+callback receives structured progress records instead of ad-hoc prints.
+
+Workers receive pickled specs (the canonical ``.g`` text — the STG is
+re-parsed in the worker) and return full
+:class:`~repro.api.artifacts.Report` objects, whose circuits re-pack their
+cube masks on unpickling in the parent's variable-interner order.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
-from typing import Optional, Union
+from collections.abc import Iterable
+from typing import Optional
 
 from repro.api.artifacts import Report
-from repro.api.spec import Spec, SpecLike
+from repro.api.spec import SpecLike
 from repro.synthesis.engine import SynthesisOptions
-
-
-def _run_one(
-    spec: Spec,
-    options: SynthesisOptions,
-    backend: str,
-    map_technology: bool,
-    verify: bool,
-    max_markings: Optional[int],
-) -> Report:
-    """Process-pool worker: one spec through a fresh pipeline.
-
-    The report is stripped of the analysis-side in-memory handles before it
-    crosses the process boundary — only the plain-data fields and the
-    circuit travel back; the worker's approximation/regions objects would
-    otherwise dominate the pickle payload for nothing.
-    """
-    from repro.api.pipeline import Pipeline
-
-    report = Pipeline().run(
-        spec,
-        options,
-        backend=backend,
-        map_technology=map_technology,
-        verify=verify,
-        max_markings=max_markings,
-    )
-    report.synthesis.refinement = None
-    report.synthesis.regions = None
-    if report.analysis is not None:
-        report.analysis.approximation = None
-        report.analysis.concurrency = None
-        report.analysis.sm_cover = None
-    if report.refinement is not None:
-        report.refinement.approximation = None
-        report.refinement.analysis = None
-    if report.mapping is not None:
-        report.mapping.mapped = None
-    return report
 
 
 def synthesize_many(
@@ -68,6 +34,8 @@ def synthesize_many(
     max_markings: Optional[int] = None,
     jobs: Optional[int] = None,
     pipeline=None,
+    store=None,
+    on_event=None,
 ) -> list[Report]:
     """Synthesize a batch of specs; returns one :class:`Report` per spec.
 
@@ -81,38 +49,23 @@ def synthesize_many(
     pipeline:
         Optional pipeline to reuse (sequential mode only), e.g. to share
         cached analysis artifacts with earlier calls.
+    store:
+        Optional durable artifact store (instance or path) shared by the
+        batch — including every pool worker.
+    on_event:
+        Optional callback receiving :class:`repro.api.events.Event` progress
+        records.
     """
-    from repro.api.pipeline import Pipeline
+    from repro.api.scheduler import Scheduler, make_jobs
 
-    options = options or SynthesisOptions()
-    loaded: Sequence[Spec] = [Spec.load(spec) for spec in specs]
-
-    if jobs is not None and jobs < 0:
-        import os
-
-        jobs = os.cpu_count() or 1
-
-    if not jobs or jobs == 1 or len(loaded) <= 1:
-        shared = pipeline if pipeline is not None else Pipeline()
-        return [
-            shared.run(
-                spec,
-                options,
-                backend=backend,
-                map_technology=map_technology,
-                verify=verify,
-                max_markings=max_markings,
-            )
-            for spec in loaded
-        ]
-
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(
-                _run_one, spec, options, backend, map_technology, verify, max_markings
-            )
-            for spec in loaded
-        ]
-        return [future.result() for future in futures]
+    scheduler = Scheduler(jobs=jobs, store=store, on_event=on_event, pipeline=pipeline)
+    return scheduler.run(
+        make_jobs(
+            specs,
+            options,
+            backend=backend,
+            map_technology=map_technology,
+            verify=verify,
+            max_markings=max_markings,
+        )
+    )

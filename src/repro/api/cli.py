@@ -10,26 +10,43 @@ Drives the unified pipeline without writing Python::
     python -m repro export sequencer --format blif --lib two-input-only -o out.blif
     python -m repro compare sequencer --level 3
     python -m repro bench fig13 --json
+    python -m repro cache stats
+    python -m repro cache prewarm 'glatch_*' --jobs 4
+    python -m repro serve --port 8765
 
 ``synthesize``/``verify``/``export``/``compare`` accept any spec source the
 API accepts: a registry benchmark name or a ``.g`` file path.  ``export``
 renders the mapped gate-level netlist in one of the four interchange
 formats (``verilog``/``blif``/``json``/``eqn``); ``--lib`` selects a
-built-in gate library or a library JSON file.  Exit status is 0 on success,
-1 when a check fails (verification/comparison mismatch), and 2 on bad input
-(unknown spec, malformed ``.g``, unsynthesizable STG, unknown library).
+built-in gate library or a library JSON file.
+
+The CLI is durable by default: stage artifacts are persisted to the
+content-addressed store (``~/.cache/repro``, or ``$REPRO_STORE``, or
+``--store PATH``) and reused across invocations; ``--no-store`` opts out.
+``repro cache`` inspects (``stats``), empties (``clear``) or fills
+(``prewarm <glob>``) the store, and ``repro serve`` exposes the pipeline as
+a long-lived HTTP daemon (see :mod:`repro.api.server`).
+
+``--json`` on ``synthesize`` emits the *lossless, versioned* report document
+(``Report.to_json``) — it reloads through ``Report.from_json`` identically.
+Exit status is 0 on success, 1 when a check fails (verification/comparison
+mismatch), and 2 on bad input (unknown spec, malformed ``.g``,
+unsynthesizable STG, unknown library).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from typing import Optional
 
 from repro.api.backends import BACKEND_NAMES, compare
+from repro.api.events import progress_printer
 from repro.api.pipeline import Pipeline
 from repro.api.spec import Spec, SpecError
+from repro.api.store import get_store
 from repro.gates.exporters import EXPORT_FORMATS, export_netlist
 from repro.gates.ir import NetlistError
 from repro.petri.reachability import StateSpaceLimitExceeded
@@ -38,6 +55,28 @@ from repro.synthesis.engine import SynthesisError, SynthesisOptions
 
 #: bench targets exposed by ``python -m repro bench``
 BENCH_TARGETS = ("table5", "table6", "table7", "table8", "fig13")
+
+
+def _add_store_location(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="artifact store directory (default $REPRO_STORE or ~/.cache/repro)",
+    )
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    _add_store_location(parser)
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run purely in memory (no artifacts persisted or reused)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one progress line per resolved stage to stderr",
+    )
 
 
 def _add_spec_options(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +100,17 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
         help="bound on state-based enumeration (raises past it)",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_store_options(parser)
+
+
+def _pipeline_from_args(args) -> Pipeline:
+    """A store-backed pipeline honouring ``--store``/``--no-store``/``--progress``."""
+    if getattr(args, "no_store", False):
+        store = None
+    else:
+        store = get_store(getattr(args, "store", None), default=True)
+    on_event = progress_printer() if getattr(args, "progress", False) else None
+    return Pipeline(store=store, on_event=on_event)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -142,6 +192,62 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("target", choices=BENCH_TARGETS)
     bench.add_argument("--json", action="store_true", help="emit JSON rows")
 
+    cache = sub.add_parser("cache", help="inspect or manage the artifact store")
+    cache.add_argument(
+        "action", choices=("stats", "clear", "prewarm"), help="what to do"
+    )
+    cache.add_argument(
+        "pattern",
+        nargs="?",
+        default=None,
+        help=(
+            "spec-name glob: prewarm these registry benchmarks / clear only "
+            "matching entries (e.g. 'glatch_*'; default: everything)"
+        ),
+    )
+    cache.add_argument(
+        "--level", type=int, default=5, choices=range(1, 6), help="prewarm level"
+    )
+    cache.add_argument(
+        "--assume-csc",
+        action="store_true",
+        help="prewarm with assume_csc (matches later runs passing --assume-csc)",
+    )
+    cache.add_argument(
+        "--backend", default="structural", choices=BACKEND_NAMES
+    )
+    cache.add_argument(
+        "--map", action="store_true", help="also prewarm the technology-mapping stage"
+    )
+    cache.add_argument(
+        "--verify", action="store_true", help="also prewarm the verification stage"
+    )
+    cache.add_argument(
+        "--jobs", type=int, default=None, help="prewarm through a process pool"
+    )
+    cache.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    cache.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one progress line per prewarmed benchmark to stderr",
+    )
+    _add_store_location(cache)
+
+    serve = sub.add_parser(
+        "serve", help="serve the pipeline as a long-lived HTTP daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="serve from memory only (no disk store)",
+    )
+    _add_store_location(serve)
+
     sub.add_parser("list", help="list registered benchmarks")
 
     return parser
@@ -157,7 +263,7 @@ def _emit(data: dict, as_json: bool, text: str) -> None:
 def _cmd_synthesize(args) -> int:
     spec = Spec.load(args.spec)
     options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
-    report = Pipeline().run(
+    report = _pipeline_from_args(args).run(
         spec,
         options,
         backend=args.backend,
@@ -167,11 +273,15 @@ def _cmd_synthesize(args) -> int:
         library=args.lib,
         max_markings=args.max_markings,
     )
+    # the versioned lossless document (reloads through Report.from_json);
+    # only built when something consumes it — serializing the circuit,
+    # bitset rows and netlist is wasted work in plain-text mode
+    document = report.to_json() if (args.json or args.output) else None
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
+            json.dump(document, handle, indent=2)
             handle.write("\n")
-    _emit(report.to_dict(), args.json, report.describe())
+    _emit(document, args.json, report.describe())
     if args.verify and not report.verification.speed_independent:
         return 1
     if args.verify_mapped and not report.mapped_verification.equivalent:
@@ -182,7 +292,7 @@ def _cmd_synthesize(args) -> int:
 def _cmd_verify(args) -> int:
     spec = Spec.load(args.spec)
     options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
-    pipeline = Pipeline()
+    pipeline = _pipeline_from_args(args)
     verification = pipeline.verify(
         spec, options, backend=args.backend, max_markings=args.max_markings
     )
@@ -195,7 +305,7 @@ def _cmd_verify(args) -> int:
             f"\n  functional errors: {len(verification.functional_errors)}"
             f"\n  hazard errors: {len(verification.hazard_errors)}"
         )
-    data = verification.to_dict()
+    data = verification.to_json()
     ok = verification.speed_independent
     if args.mapped:
         mapped = pipeline.verify_mapped(
@@ -210,7 +320,7 @@ def _cmd_verify(args) -> int:
             f"(checked {mapped.checked_codes} state codes, "
             f"{mapped.gate_count} gates)"
         )
-        data = {"verify": data, "verify_mapped": mapped.to_dict()}
+        data = {"verify": data, "verify_mapped": mapped.to_json()}
         ok = ok and mapped.equivalent
     _emit(data, args.json, text)
     return 0 if ok else 1
@@ -219,7 +329,7 @@ def _cmd_verify(args) -> int:
 def _cmd_export(args) -> int:
     spec = Spec.load(args.spec)
     options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
-    mapping = Pipeline().map(
+    mapping = _pipeline_from_args(args).map(
         spec,
         options,
         backend=args.backend,
@@ -243,7 +353,12 @@ def _cmd_export(args) -> int:
 def _cmd_compare(args) -> int:
     spec = Spec.load(args.spec)
     options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
-    report = compare(spec, options, max_markings=args.max_markings)
+    report = compare(
+        spec,
+        options,
+        pipeline=_pipeline_from_args(args),
+        max_markings=args.max_markings,
+    )
     lines = [
         f"{spec.name}: next-state functions "
         + ("MATCH" if report.matching else "MISMATCH"),
@@ -296,6 +411,98 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    store = get_store(args.store, default=True)
+
+    if args.action == "stats":
+        if args.pattern is not None:
+            print("error: `cache stats` takes no pattern", file=sys.stderr)
+            return 2
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"store: {stats['root']} (code version {stats['code_version']})")
+            print(
+                f"  entries: {stats['entries']} "
+                f"({stats['stale_entries']} stale), {stats['bytes']} bytes"
+            )
+            for stage, count in stats["per_stage"].items():
+                print(f"  {stage}: {count}")
+        return 0
+
+    if args.action == "clear":
+        # a pattern scopes the removal to matching spec names; without one
+        # the whole store (including stale temp files) is emptied
+        removed = store.clear(spec_pattern=args.pattern)
+        scope = f" for {args.pattern!r}" if args.pattern else ""
+        _emit(
+            {"cleared": removed, "pattern": args.pattern},
+            args.json,
+            f"removed {removed} store entries{scope}",
+        )
+        return 0
+
+    # prewarm: run the selected stages of every matching registry benchmark
+    # through the store so later runs (CLI, experiments, server) start warm.
+    from repro.api.scheduler import Scheduler, make_jobs
+    from repro.benchmarks.registry import list_benchmarks
+
+    pattern = args.pattern or "*"
+    names = [name for name in list_benchmarks() if fnmatch.fnmatch(name, pattern)]
+    if not names:
+        print(f"error: no registry benchmark matches {pattern!r}", file=sys.stderr)
+        return 2
+    on_event = progress_printer() if args.progress else None
+    scheduler = Scheduler(jobs=args.jobs, store=store, on_event=on_event)
+    # assume_csc is part of the stage keys: prewarm with the same flag the
+    # later runs will use (default off, matching a plain `repro synthesize`)
+    options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    jobs = make_jobs(
+        names,
+        options,
+        backend=args.backend,
+        map_technology=args.map,
+        verify=args.verify,
+    )
+    failures: list[str] = []
+    succeeded = 0
+    for result in scheduler.iter_results(jobs):
+        if result.ok:
+            succeeded += 1
+        else:
+            failures.append(f"{result.job.spec.name}: {result.error}")
+    stats = store.stats()
+    summary = {
+        "prewarmed": succeeded,
+        "failed": len(failures),
+        "failures": failures,
+        "store": {
+            "root": stats["root"],
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "session": stats["session"],
+        },
+    }
+    text = (
+        f"prewarmed {succeeded}/{len(jobs)} benchmarks into {stats['root']} "
+        f"({stats['entries']} entries, {stats['bytes']} bytes)"
+    )
+    if failures:
+        text += "\n" + "\n".join(f"  failed: {line}" for line in failures)
+    _emit(summary, args.json, text)
+    return 0 if not failures else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.api.server import run_server
+
+    store = None if args.no_store else get_store(args.store, default=True)
+    return run_server(
+        host=args.host, port=args.port, store=store, verbose=args.verbose
+    )
+
+
 def _cmd_list(args) -> int:
     from repro.benchmarks.registry import list_benchmarks
 
@@ -310,6 +517,8 @@ _COMMANDS = {
     "export": _cmd_export,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "list": _cmd_list,
 }
 

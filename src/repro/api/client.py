@@ -1,0 +1,227 @@
+"""Python client for the ``repro serve`` daemon.
+
+A thin stdlib-only (``urllib``) wrapper over the server's JSON endpoints so
+experiments, CI and notebooks can run against a *warm* long-lived pipeline
+instead of paying process start-up and front-end analysis per invocation::
+
+    from repro.api.client import Client
+
+    client = Client("http://127.0.0.1:8765")
+    result = client.synthesize("sequencer", level=5, verify=True)
+    result.report.literals          # a full typed Report, rebuilt locally
+    result.resolution["computed"]   # 0 when the server had it cached
+
+Spec arguments accept everything :meth:`repro.api.spec.Spec.load` accepts
+*locally*: registry names and inline ``.g`` text travel as-is, while
+``Spec``/STG instances and local file paths are canonicalized to ``.g``
+text before being sent (the server never needs access to the client's
+filesystem).
+
+Server-side request errors (HTTP 4xx/5xx) surface as :class:`ClientError`
+carrying the server's message; connection failures raise the usual
+``urllib.error.URLError``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.api.artifacts import Report
+from repro.api.spec import Spec, SpecLike
+from repro.stg.stg import STG
+from repro.stg.writer import write_g
+
+
+class ClientError(RuntimeError):
+    """A request the server rejected (carries the server's error message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class SynthesisResult:
+    """One ``/synthesize`` response: the typed report plus cache telemetry."""
+
+    report: Report
+    #: {"computed": n, "memory": n, "store": n, "stages": [...]} — how the
+    #: server resolved each stage of this request
+    resolution: dict
+    raw: dict
+
+    @property
+    def cached(self) -> bool:
+        """True when the server computed nothing for this request."""
+        return self.resolution.get("computed", 0) == 0
+
+
+def _spec_payload(spec: SpecLike) -> str:
+    """Encode a spec argument for transport.
+
+    Registry names and inline text pass through; everything else (paths,
+    STGs, Spec objects) is canonicalized to ``.g`` text locally.
+    """
+    if isinstance(spec, Spec):
+        return spec.text
+    if isinstance(spec, STG):
+        return write_g(spec)
+    if isinstance(spec, os.PathLike):
+        return Spec.from_file(spec).text
+    if isinstance(spec, str):
+        if "\n" not in spec and (os.path.exists(spec) or spec.endswith(".g")):
+            return Spec.from_file(spec).text
+        return spec
+    raise TypeError(f"cannot send a {type(spec).__name__} as a spec")
+
+
+class Client:
+    """HTTP client bound to one ``repro serve`` base URL."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8765", timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                message = error.reason
+            raise ClientError(error.code, message) from error
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def benchmarks(self) -> list[str]:
+        return self._request("GET", "/benchmarks")["benchmarks"]
+
+    def cache_stats(self) -> dict:
+        return self._request("GET", "/cache/stats")
+
+    def cache_clear(self, disk: bool = False) -> dict:
+        return self._request("POST", "/cache/clear", {"disk": disk})
+
+    def synthesize(
+        self,
+        spec: SpecLike,
+        level: int = 5,
+        backend: str = "structural",
+        assume_csc: bool = False,
+        map_technology: bool = False,
+        verify: bool = False,
+        verify_mapped: bool = False,
+        library: Optional[str] = None,
+        max_markings: Optional[int] = None,
+    ) -> SynthesisResult:
+        """Run one spec through the server's pipeline; returns the typed report."""
+        payload = self._request(
+            "POST",
+            "/synthesize",
+            {
+                "spec": _spec_payload(spec),
+                "level": level,
+                "backend": backend,
+                "assume_csc": assume_csc,
+                "map": map_technology,
+                "verify": verify,
+                "verify_mapped": verify_mapped,
+                "library": library,
+                "max_markings": max_markings,
+            },
+        )
+        return SynthesisResult(
+            report=Report.from_json(payload["report"]),
+            resolution=payload.get("resolution", {}),
+            raw=payload,
+        )
+
+    def verify(
+        self,
+        spec: SpecLike,
+        level: int = 5,
+        backend: str = "structural",
+        assume_csc: bool = False,
+        mapped: bool = False,
+        library: Optional[str] = None,
+        max_markings: Optional[int] = None,
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/verify",
+            {
+                "spec": _spec_payload(spec),
+                "level": level,
+                "backend": backend,
+                "assume_csc": assume_csc,
+                "mapped": mapped,
+                "library": library,
+                "max_markings": max_markings,
+            },
+        )
+
+    def compare(
+        self,
+        spec: SpecLike,
+        level: int = 5,
+        assume_csc: bool = False,
+        max_markings: Optional[int] = None,
+    ) -> dict:
+        """Differential mode on the server; returns the comparison document."""
+        return self._request(
+            "POST",
+            "/compare",
+            {
+                "spec": _spec_payload(spec),
+                "level": level,
+                "assume_csc": assume_csc,
+                "max_markings": max_markings,
+            },
+        )
+
+    def export(
+        self,
+        spec: SpecLike,
+        fmt: str = "verilog",
+        level: int = 5,
+        assume_csc: bool = False,
+        library: Optional[str] = None,
+    ) -> str:
+        """Map on the server and return the rendered netlist text."""
+        payload = self._request(
+            "POST",
+            "/export",
+            {
+                "spec": _spec_payload(spec),
+                "format": fmt,
+                "level": level,
+                "assume_csc": assume_csc,
+                "library": library,
+            },
+        )
+        return payload["text"]

@@ -37,6 +37,7 @@ order.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import Counter
 from typing import Optional, Union
@@ -50,7 +51,9 @@ from repro.api.artifacts import (
     VerificationArtifact,
     RefinementArtifact,
 )
+from repro.api.events import Event, EventCallback
 from repro.api.spec import Spec, SpecLike
+from repro.api.store import ArtifactStore, get_store
 from repro.gates.library import get_library
 from repro.gates.verify import verify_mapped_netlist
 from repro.petri.smcover import compute_sm_components, compute_sm_cover
@@ -105,31 +108,101 @@ def _library_key(library: Optional[GateLibrary]) -> Optional[tuple]:
 class Pipeline:
     """A caching spec-to-circuit pipeline.
 
-    One pipeline instance owns one artifact cache; share an instance across
-    calls (sweeps, batches, experiments) to reuse the staged artifacts.
-    Create with ``cache=False`` for always-fresh computation.
+    One pipeline instance owns one in-memory artifact cache; share an
+    instance across calls (sweeps, batches, experiments) to reuse the staged
+    artifacts.  Create with ``cache=False`` for always-fresh computation.
+
+    ``store`` attaches a durable backing
+    (:class:`~repro.api.store.ArtifactStore` instance or a path): stage
+    results are then looked up memory → store → compute, and every
+    computed artifact is persisted through its lossless ``to_json`` form, so
+    results survive the process and are shared between CLI runs, batch
+    workers, experiments and the HTTP daemon.  ``store_hits``/
+    ``store_misses`` count the disk-level outcomes per stage, alongside the
+    ``stage_calls`` computation counters.
+
+    ``on_event`` receives one :class:`~repro.api.events.Event` per stage
+    resolution (status ``computed``/``memory``/``store``).
     """
 
     STAGES = ("analyze", "refine", "synthesize", "map", "verify", "verify_mapped")
 
-    def __init__(self, cache: bool = True):
+    def __init__(
+        self,
+        cache: bool = True,
+        store: Union[ArtifactStore, str, os.PathLike, None] = None,
+        on_event: Optional[EventCallback] = None,
+    ):
         self._cache: Optional[dict] = {} if cache else None
+        self.store: Optional[ArtifactStore] = get_store(store)
+        self.on_event = on_event
         #: number of actual stage computations (cache misses), per stage
         self.stage_calls: Counter = Counter()
+        #: per-stage on-disk store outcomes (only touched when a store is set)
+        self.store_hits: Counter = Counter()
+        self.store_misses: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
     # ------------------------------------------------------------------ #
 
-    def _memo(self, key: tuple, compute):
+    def _emit(self, spec: Spec, stage: str, status: str, seconds: Optional[float] = None):
+        if self.on_event is not None:
+            self.on_event(
+                Event(
+                    kind="stage",
+                    spec=spec.name,
+                    status=status,
+                    stage=stage,
+                    seconds=seconds,
+                )
+            )
+
+    def _memo(self, key: tuple, compute, spec: Optional[Spec] = None, artifact_cls=None):
+        """Resolve one stage: memory cache → artifact store → computation."""
+        stage = key[0]
         if self._cache is not None:
             try:
-                return self._cache[key]
+                value = self._cache[key]
             except KeyError:
                 pass
+            else:
+                if spec is not None:
+                    self._emit(spec, stage, "memory")
+                return value
+        if self.store is not None and artifact_cls is not None:
+            data = self.store.get(key)
+            if data is not None:
+                try:
+                    value = artifact_cls.from_json(data)
+                except (ValueError, KeyError, TypeError):
+                    # a malformed entry degrades to recomputation
+                    value = None
+                if value is not None:
+                    self.store_hits[stage] += 1
+                    if self._cache is not None:
+                        self._cache[key] = value
+                    if spec is not None:
+                        self._emit(spec, stage, "store")
+                    return value
+            self.store_misses[stage] += 1
+        start = time.perf_counter()
         value = compute()
         if self._cache is not None:
             self._cache[key] = value
+        if self.store is not None and artifact_cls is not None:
+            try:
+                self.store.put(
+                    key,
+                    value.to_json(),
+                    stage=stage,
+                    spec_name=spec.name if spec is not None else "",
+                    spec_hash=spec.content_hash if spec is not None else "",
+                )
+            except OSError:
+                pass  # an unwritable store must never fail the computation
+        if spec is not None:
+            self._emit(spec, stage, "computed", seconds=time.perf_counter() - start)
         return value
 
     def cache_info(self) -> dict:
@@ -139,10 +212,39 @@ class Pipeline:
         counts: Counter = Counter(key[0] for key in self._cache)
         return dict(counts)
 
+    def store_info(self) -> dict:
+        """On-disk store statistics plus this pipeline's hit/miss counters."""
+        if self.store is None:
+            return {}
+        info = self.store.stats()
+        info["pipeline"] = {
+            "stage_calls": dict(self.stage_calls),
+            "store_hits": dict(self.store_hits),
+            "store_misses": dict(self.store_misses),
+        }
+        return info
+
+    def evict_cache(self) -> int:
+        """Drop the in-memory artifacts only; counters and store survive.
+
+        With a store attached this is cheap insurance for long-lived
+        processes (the daemon): evicted artifacts reload from disk on the
+        next request instead of recomputing.  Returns the number of entries
+        dropped.
+        """
+        if self._cache is None:
+            return 0
+        dropped = len(self._cache)
+        self._cache.clear()
+        return dropped
+
     def clear_cache(self) -> None:
+        """Drop the in-memory cache and counters (the store is untouched)."""
         if self._cache is not None:
             self._cache.clear()
         self.stage_calls.clear()
+        self.store_hits.clear()
+        self.store_misses.clear()
 
     # ------------------------------------------------------------------ #
     # Stage: analyze
@@ -199,7 +301,7 @@ class Pipeline:
                 sm_cover=sm_cover,
             )
 
-        return self._memo(key, compute)
+        return self._memo(key, compute, spec=spec, artifact_cls=AnalysisArtifact)
 
     # ------------------------------------------------------------------ #
     # Stage: refine
@@ -220,6 +322,8 @@ class Pipeline:
             self.stage_calls["refine"] += 1
             start = time.perf_counter()
             stg = spec.stg
+            # a store-loaded analysis artifact rebuilds its handles here
+            analysis.ensure_handles(stg)
             refinement = refine_cover_functions(
                 stg,
                 analysis.approximation.cover_functions,
@@ -248,7 +352,12 @@ class Pipeline:
                 analysis=analysis,
             )
 
-        return self._memo(key, compute)
+        refinement = self._memo(key, compute, spec=spec, artifact_cls=RefinementArtifact)
+        if refinement.analysis is None:
+            # the serialized refine document does not nest the analysis
+            # (it has its own store entry); link the one resolved above
+            refinement.analysis = analysis
+        return refinement
 
     # ------------------------------------------------------------------ #
     # Stage: synthesize
@@ -283,7 +392,7 @@ class Pipeline:
             self.stage_calls["synthesize"] += 1
             return backend.synthesize(self, spec, options, max_markings=max_markings)
 
-        return self._memo(key, compute)
+        return self._memo(key, compute, spec=spec, artifact_cls=SynthesisArtifact)
 
     # ------------------------------------------------------------------ #
     # Stage: map
@@ -339,7 +448,7 @@ class Pipeline:
                 netlist=netlist,
             )
 
-        return self._memo(key, compute)
+        return self._memo(key, compute, spec=spec, artifact_cls=MappingArtifact)
 
     # ------------------------------------------------------------------ #
     # Stage: verify
@@ -380,7 +489,7 @@ class Pipeline:
                 seconds=time.perf_counter() - start,
             )
 
-        return self._memo(key, compute)
+        return self._memo(key, compute, spec=spec, artifact_cls=VerificationArtifact)
 
     # ------------------------------------------------------------------ #
     # Stage: verify_mapped
@@ -441,7 +550,9 @@ class Pipeline:
                 seconds=time.perf_counter() - start,
             )
 
-        return self._memo(key, compute)
+        return self._memo(
+            key, compute, spec=spec, artifact_cls=MappedVerificationArtifact
+        )
 
     # ------------------------------------------------------------------ #
     # Full run

@@ -1,0 +1,288 @@
+"""Stage scheduler: many (spec × stage-bundle) jobs, optionally in parallel.
+
+The scaling entry points used to be one hard-wired loop in
+:mod:`repro.api.batch`; this module factors the machinery out into an
+explicit :class:`Scheduler` that
+
+* normalizes a batch of :class:`Job` descriptions (spec + options + which
+  stages to run),
+* executes them sequentially through one shared store-backed pipeline or
+  fans out over a process pool,
+* emits structured :class:`~repro.api.events.Event` records (``job`` kind,
+  with ``index``/``total`` progress) instead of printing, and
+* shares artifacts across workers through the on-disk
+  :class:`~repro.api.store.ArtifactStore` — a worker that recomputes nothing
+  because an earlier run already persisted the stages is the normal case,
+  not an optimization.
+
+Two consumption styles are offered: :meth:`Scheduler.run` returns the
+reports in job order (raising the first job error after the batch drains),
+and :meth:`Scheduler.iter_results` yields :class:`JobResult` records in
+*completion* order, each carrying either a report or the error — the
+iterator API the experiments and the CLI progress view build on.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.api.artifacts import Report
+from repro.api.events import Event, EventCallback
+from repro.api.spec import Spec, SpecLike
+from repro.api.store import ArtifactStore, get_store
+from repro.synthesis.engine import SynthesisOptions
+
+
+@dataclass
+class Job:
+    """One schedulable unit: a spec plus the stage bundle to run on it."""
+
+    spec: Spec
+    options: SynthesisOptions
+    backend: str = "structural"
+    map_technology: bool = False
+    verify: bool = False
+    verify_mapped: bool = False
+    library: object = None
+    max_markings: Optional[int] = None
+
+    @classmethod
+    def make(cls, spec: SpecLike, options: Optional[SynthesisOptions] = None, **kwargs) -> "Job":
+        return cls(spec=Spec.load(spec), options=options or SynthesisOptions(), **kwargs)
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job: a report or the exception it raised."""
+
+    index: int
+    job: Job
+    report: Optional[Report] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _strip_report(report: Report) -> Report:
+    """Drop the analysis-side in-memory handles before pickling.
+
+    Only the plain-data fields and the circuit/netlist travel back from a
+    pool worker; the worker's approximation/regions objects would dominate
+    the pickle payload for nothing (the artifact store already persisted
+    their serial forms).
+    """
+    report.synthesis.refinement = None
+    report.synthesis.regions = None
+    if report.analysis is not None:
+        report.analysis.approximation = None
+        report.analysis.concurrency = None
+        report.analysis.sm_cover = None
+    if report.refinement is not None:
+        report.refinement.approximation = None
+        report.refinement.analysis = None
+    if report.mapping is not None:
+        report.mapping.mapped = None
+    return report
+
+
+def _execute_job(job: Job, store_spec: Optional[tuple[str, str]]) -> Report:
+    """Process-pool worker: one job through a fresh store-backed pipeline.
+
+    ``store_spec`` is ``(root, code_version)`` — the worker rebuilds the
+    parent's store handle exactly, so entries written on either side of the
+    process boundary are mutually visible (a custom code version must not
+    silently fall back to the default stamp).
+    """
+    from repro.api.pipeline import Pipeline
+    from repro.api.store import ArtifactStore
+
+    store = None
+    if store_spec is not None:
+        store = ArtifactStore(store_spec[0], code_version=store_spec[1])
+    pipeline = Pipeline(store=store)
+    report = pipeline.run(
+        job.spec,
+        job.options,
+        backend=job.backend,
+        map_technology=job.map_technology,
+        verify=job.verify,
+        verify_mapped=job.verify_mapped,
+        library=job.library,
+        max_markings=job.max_markings,
+    )
+    return _strip_report(report)
+
+
+class Scheduler:
+    """Runs job batches sequentially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        ``None``/``0``/``1`` runs sequentially through one shared pipeline;
+        ``n > 1`` fans out over a pool of ``n`` workers; ``n < 0`` uses the
+        machine's CPU count.
+    store:
+        Optional durable artifact store (instance or path) shared by the
+        sequential pipeline and by every pool worker.
+    on_event:
+        Callback receiving ``job`` progress events (and, in sequential mode,
+        the pipeline's ``stage`` events as well).
+    pipeline:
+        Optional pipeline to reuse in sequential mode: its cache (and its
+        own store, if any) are shared with earlier calls.  When ``store`` is
+        *also* given it is attached to the reused pipeline, so the batch
+        persists durably either way; the pipeline keeps its own ``on_event``
+        (the scheduler's callback only receives the ``job`` events then).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Union[ArtifactStore, str, os.PathLike, None] = None,
+        on_event: Optional[EventCallback] = None,
+        pipeline=None,
+    ):
+        if jobs is not None and jobs < 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs or 1
+        self.store = get_store(store)
+        self.on_event = on_event
+        self._pipeline = pipeline
+
+    # ------------------------------------------------------------------ #
+    # Event helpers
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, result_or_job, index: int, total: int, status: str, **kwargs):
+        if self.on_event is None:
+            return
+        job = result_or_job
+        self.on_event(
+            Event(
+                kind="job",
+                spec=job.spec.name,
+                status=status,
+                index=index + 1,
+                total=total,
+                **kwargs,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def iter_results(self, jobs: Sequence[Job]) -> Iterator[JobResult]:
+        """Yield one :class:`JobResult` per job, in completion order."""
+        jobs = list(jobs)
+        total = len(jobs)
+        if self.jobs <= 1 or total <= 1:
+            yield from self._iter_sequential(jobs, total)
+        else:
+            yield from self._iter_pool(jobs, total)
+
+    def _iter_sequential(self, jobs: list[Job], total: int) -> Iterator[JobResult]:
+        from repro.api.pipeline import Pipeline
+
+        pipeline = self._pipeline
+        if pipeline is None:
+            pipeline = Pipeline(store=self.store, on_event=self.on_event)
+        elif self.store is not None and pipeline.store is not self.store:
+            # an explicitly requested store wins over (and is attached to)
+            # the reused pipeline, as the constructor docstring promises
+            pipeline.store = self.store
+        for index, job in enumerate(jobs):
+            self._emit(job, index, total, "start")
+            try:
+                report = pipeline.run(
+                    job.spec,
+                    job.options,
+                    backend=job.backend,
+                    map_technology=job.map_technology,
+                    verify=job.verify,
+                    verify_mapped=job.verify_mapped,
+                    library=job.library,
+                    max_markings=job.max_markings,
+                )
+            except Exception as error:
+                self._emit(job, index, total, "error", detail=str(error))
+                yield JobResult(index=index, job=job, error=error)
+                continue
+            self._emit(
+                job, index, total, "done",
+                seconds=report.total_seconds,
+                detail=f"{report.literals} literals",
+            )
+            yield JobResult(index=index, job=job, report=report)
+
+    def _iter_pool(self, jobs: list[Job], total: int) -> Iterator[JobResult]:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        store_spec = (
+            (str(self.store.root), self.store.code_version)
+            if self.store is not None
+            else None
+        )
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {}
+            for index, job in enumerate(jobs):
+                self._emit(job, index, total, "start")
+                futures[pool.submit(_execute_job, job, store_spec)] = index
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        job = jobs[index]
+                        error = future.exception()
+                        if error is not None:
+                            self._emit(job, index, total, "error", detail=str(error))
+                            yield JobResult(index=index, job=job, error=error)
+                            continue
+                        report = future.result()
+                        self._emit(
+                            job, index, total, "done",
+                            seconds=report.total_seconds,
+                            detail=f"{report.literals} literals",
+                        )
+                        yield JobResult(index=index, job=job, report=report)
+            finally:
+                # a consumer abandoning the iterator early (e.g. run()'s
+                # fail-fast) must not leave queued jobs running
+                for future in pending:
+                    future.cancel()
+
+    def run(self, jobs: Sequence[Job]) -> list[Report]:
+        """Execute a batch; returns reports in job order.
+
+        Fails fast: the first failed result re-raises immediately (in
+        sequential mode completion order *is* job order, so this matches
+        the abort-on-first-error semantics of the pre-scheduler batch
+        loop; in pool mode still-queued jobs are cancelled, already-running
+        ones finish).  Use :meth:`iter_results` to drain a batch despite
+        failures.
+        """
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        for result in self.iter_results(jobs):
+            if result.error is not None:
+                raise result.error
+            results[result.index] = result
+        return [result.report for result in results if result is not None]
+
+
+def make_jobs(
+    specs: Iterable[SpecLike],
+    options: Optional[SynthesisOptions] = None,
+    **kwargs,
+) -> list[Job]:
+    """Build one :class:`Job` per spec with shared options/stage flags."""
+    options = options or SynthesisOptions()
+    template = Job(spec=None, options=options, **kwargs)  # type: ignore[arg-type]
+    return [replace(template, spec=Spec.load(spec)) for spec in specs]

@@ -1,0 +1,398 @@
+"""The ``repro serve`` daemon: synthesis as a long-running service.
+
+Production flows treat synthesis as a service over a persistent design
+database rather than a one-shot script: the front-end cost of a spec is paid
+once, and every later request — from CI, from a sweep, from another process
+— is a cache hit.  This module exposes the store-backed
+:class:`~repro.api.pipeline.Pipeline` over plain HTTP/JSON using only the
+standard library (``http.server.ThreadingHTTPServer``), so a warm server
+plus the on-disk :class:`~repro.api.store.ArtifactStore` gives both
+process-lifetime *and* cross-process durability.
+
+Endpoints (all JSON)::
+
+    GET  /health         liveness, uptime, code version
+    GET  /benchmarks     registered benchmark names
+    GET  /cache/stats    pipeline counters + store statistics
+    POST /cache/clear    drop the in-memory cache (``{"disk": true}`` also
+                         clears the on-disk store)
+    POST /synthesize     {"spec": <name or .g text>, "level": 5, ...}
+    POST /verify         {"spec": ..., "mapped": bool, ...}
+    POST /compare        {"spec": ..., "level": ..., "max_markings": ...}
+    POST /export         {"spec": ..., "format": "verilog", ...}
+
+``/synthesize`` responds with the lossless ``Report.to_json`` document plus
+a ``resolution`` summary — how many stages were computed, served from
+memory, or served from the store — which is what the CI smoke test asserts
+on (a repeated request must resolve without computation).
+
+Requests are serialized through one lock: correctness first (the pipeline's
+memo dict is not concurrency-safe), and the workload is cache-dominated —
+the durable store, not request parallelism, is the scaling story of this
+PR.  Use :class:`repro.api.client.Client` to talk to the server from
+Python.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.api.backends import compare
+from repro.api.events import fanout
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec, SpecError
+from repro.api.store import get_store
+from repro.gates.exporters import EXPORT_FORMATS, export_netlist
+from repro.gates.ir import NetlistError
+from repro.petri.reachability import StateSpaceLimitExceeded
+from repro.statebased.synthesis import StateBasedSynthesisError
+from repro.synthesis.engine import SynthesisError, SynthesisOptions
+
+#: request errors mapped to HTTP 400 (bad input, not server failure).
+#: KeyError/TypeError are deliberately absent — those indicate server bugs
+#: and must surface as 500.  Bare ValueError stays: the input-validation
+#: paths of the stack (library resolution, export formats, option parsing)
+#: raise it for bad user input, the same contract the CLI maps to exit 2.
+_CLIENT_ERRORS = (
+    SpecError,
+    SynthesisError,
+    StateBasedSynthesisError,
+    NetlistError,
+    StateSpaceLimitExceeded,
+    ValueError,
+)
+
+
+def _spec_of(body: dict):
+    source = body.get("spec")
+    if not source:
+        raise ValueError("request body must include a non-empty 'spec'")
+    return Spec.load(source)
+
+
+class SynthesisService:
+    """The request-facing facade over one shared store-backed pipeline.
+
+    ``max_cached_artifacts`` bounds the pipeline's in-memory cache: once
+    more artifacts than that are held, the cache is evicted wholesale after
+    the request (the store, when attached, makes the eviction cheap — the
+    next request reloads from disk instead of recomputing).  This keeps a
+    long-lived daemon fed with a stream of distinct specs from growing
+    without bound.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        pipeline: Optional[Pipeline] = None,
+        max_cached_artifacts: int = 1024,
+    ):
+        if pipeline is None:
+            pipeline = Pipeline(store=store)
+        self.pipeline = pipeline
+        self.max_cached_artifacts = max_cached_artifacts
+        self.lock = threading.Lock()
+        self.started = time.time()
+        self.requests = 0
+        self.evictions = 0
+        self._events: list = []
+        self._in_request = False
+        # compose with (not replace) any callback the caller's pipeline carries
+        pipeline.on_event = fanout(pipeline.on_event, self._collect)
+
+    def _collect(self, event) -> None:
+        # only record events raised by the handler running under the lock;
+        # a shared pipeline driven directly from outside a request must not
+        # grow (or pollute) the next request's resolution telemetry
+        if self._in_request and event.kind == "stage":
+            self._events.append(event)
+
+    def _options(self, body: dict) -> SynthesisOptions:
+        try:
+            level = int(body.get("level", 5))
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"'level' must be an integer 1..5: {error}") from error
+        return SynthesisOptions(
+            level=level,
+            assume_csc=bool(body.get("assume_csc", False)),
+        )
+
+    def _maybe_evict(self) -> None:
+        cached = sum(self.pipeline.cache_info().values())
+        if cached > self.max_cached_artifacts:
+            self.pipeline.evict_cache()
+            self.evictions += 1
+
+    def _resolution(self) -> dict:
+        counts = {"computed": 0, "memory": 0, "store": 0}
+        stages = []
+        for event in self._events:
+            counts[event.status] = counts.get(event.status, 0) + 1
+            stages.append({"stage": event.stage, "status": event.status})
+        return {**counts, "stages": stages}
+
+    # ------------------------------------------------------------------ #
+    # Request handlers (called under the lock)
+    # ------------------------------------------------------------------ #
+
+    def synthesize(self, body: dict) -> dict:
+        spec = _spec_of(body)
+        report = self.pipeline.run(
+            spec,
+            self._options(body),
+            backend=body.get("backend", "structural"),
+            map_technology=bool(body.get("map", False)),
+            verify=bool(body.get("verify", False)),
+            verify_mapped=bool(body.get("verify_mapped", False)),
+            library=body.get("library"),
+            max_markings=body.get("max_markings"),
+        )
+        return {"report": report.to_json(), "resolution": self._resolution()}
+
+    def verify(self, body: dict) -> dict:
+        spec = _spec_of(body)
+        options = self._options(body)
+        backend = body.get("backend", "structural")
+        max_markings = body.get("max_markings")
+        verification = self.pipeline.verify(
+            spec, options, backend=backend, max_markings=max_markings
+        )
+        result = {"verify": verification.to_json()}
+        if body.get("mapped", False):
+            mapped = self.pipeline.verify_mapped(
+                spec,
+                options,
+                backend=backend,
+                library=body.get("library"),
+                max_markings=max_markings,
+            )
+            result["verify_mapped"] = mapped.to_json()
+        result["resolution"] = self._resolution()
+        return result
+
+    def compare(self, body: dict) -> dict:
+        spec = _spec_of(body)
+        report = compare(
+            spec,
+            self._options(body),
+            pipeline=self.pipeline,
+            max_markings=body.get("max_markings"),
+        )
+        return {"comparison": report.to_dict(), "resolution": self._resolution()}
+
+    def export(self, body: dict) -> dict:
+        spec = _spec_of(body)
+        fmt = body.get("format", "verilog")
+        if fmt not in EXPORT_FORMATS:
+            raise ValueError(
+                f"unknown export format {fmt!r} (available: {', '.join(EXPORT_FORMATS)})"
+            )
+        mapping = self.pipeline.map(
+            spec,
+            self._options(body),
+            backend=body.get("backend", "structural"),
+            library=body.get("library"),
+            max_markings=body.get("max_markings"),
+        )
+        return {
+            "format": fmt,
+            "text": export_netlist(mapping.netlist, fmt),
+            "gates": mapping.gate_count,
+            "total_area": mapping.total_area,
+            "resolution": self._resolution(),
+        }
+
+    def cache_stats(self, body: Optional[dict] = None) -> dict:
+        stats = {
+            "stage_calls": dict(self.pipeline.stage_calls),
+            "store_hits": dict(self.pipeline.store_hits),
+            "store_misses": dict(self.pipeline.store_misses),
+            "memory_entries": self.pipeline.cache_info(),
+            "evictions": self.evictions,
+            "requests": self.requests,
+            "uptime_seconds": time.time() - self.started,
+        }
+        if self.pipeline.store is not None:
+            stats["store"] = self.pipeline.store.stats()
+        return stats
+
+    def cache_clear(self, body: Optional[dict] = None) -> dict:
+        self.pipeline.clear_cache()
+        removed = 0
+        if (body or {}).get("disk") and self.pipeline.store is not None:
+            removed = self.pipeline.store.clear()
+        return {"cleared": True, "disk_entries_removed": removed}
+
+    def health(self, body: Optional[dict] = None) -> dict:
+        from repro.api.store import CODE_VERSION
+
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started,
+            "requests": self.requests,
+            "code_version": CODE_VERSION,
+            "store": str(self.pipeline.store.root) if self.pipeline.store else None,
+        }
+
+    def benchmarks(self, body: Optional[dict] = None) -> dict:
+        from repro.benchmarks.registry import list_benchmarks
+
+        return {"benchmarks": list_benchmarks()}
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    GET_ROUTES = {
+        "/health": "health",
+        "/benchmarks": "benchmarks",
+        "/cache/stats": "cache_stats",
+    }
+    POST_ROUTES = {
+        "/synthesize": "synthesize",
+        "/verify": "verify",
+        "/compare": "compare",
+        "/export": "export",
+        "/cache/clear": "cache_clear",
+        "/cache/stats": "cache_stats",
+    }
+    #: endpoints that never touch the pipeline's memo state — answered
+    #: without the lock so liveness probes survive a long-running synthesis
+    LOCK_FREE = {"health", "benchmarks"}
+
+    def dispatch(self, method: str, path: str, body: Optional[dict]):
+        routes = self.GET_ROUTES if method == "GET" else self.POST_ROUTES
+        name = routes.get(path)
+        if name is None:
+            return None
+        if name in self.LOCK_FREE:
+            self.requests += 1
+            return getattr(self, name)(body)
+        with self.lock:
+            self.requests += 1
+            self._events = []
+            self._in_request = True
+            try:
+                return getattr(self, name)(body)
+            finally:
+                self._in_request = False
+                self._maybe_evict()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP plumbing around :class:`SynthesisService`."""
+
+    server_version = "repro-serve/1"
+    #: set by :func:`create_server`
+    service: SynthesisService
+
+    # quiet by default; ``create_server(verbose=True)`` restores logging
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, method: str) -> None:
+        body: Optional[dict] = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8") or "{}")
+            except json.JSONDecodeError as error:
+                self._send(400, {"error": f"malformed JSON body: {error}"})
+                return
+            if not isinstance(body, dict):
+                self._send(400, {"error": "request body must be a JSON object"})
+                return
+        try:
+            result = self.service.dispatch(method, self.path, body)
+        except _CLIENT_ERRORS as error:
+            self._send(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 — the daemon must not die
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        if result is None:
+            self._send(404, {"error": f"unknown endpoint {method} {self.path}"})
+            return
+        self._send(200, result)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("POST")
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store=None,
+    pipeline: Optional[Pipeline] = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-serve (but not yet serving) HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  The in-process tests and the CI smoke
+    job drive the returned server from a background thread.
+    """
+    service = SynthesisService(store=store, pipeline=pipeline)
+    handler = type("_BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.verbose = verbose
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store=None,
+    verbose: bool = False,
+) -> int:
+    """Bind, announce, and serve until interrupted (the CLI's serve loop)."""
+    store = get_store(store)  # accept a path like every other entry point
+    server = create_server(host=host, port=port, store=store, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(store: {store.root if store is not None else 'disabled'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.api.server`` entry point.
+
+    Delegates to the CLI's ``serve`` subcommand so there is exactly one
+    argument parser for the daemon's flags.
+    """
+    import sys
+
+    from repro.api.cli import main as cli_main
+
+    return cli_main(["serve", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

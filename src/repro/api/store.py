@@ -1,0 +1,297 @@
+"""Content-addressed on-disk artifact store.
+
+The pipeline's in-memory cache dies with the process; this module gives it a
+durable backing.  Every stage artifact is serialized through its versioned
+``to_json`` form and written under a *content address*: the SHA-256 of the
+canonical JSON encoding of ``(code version, stage, spec hash, stage key)``.
+Two pipelines — in different processes, on different days, behind a CLI, a
+batch worker or the HTTP daemon — that ask for the same stage of the same
+spec under the same options therefore share one on-disk entry.
+
+Layout::
+
+    <root>/v1/<digest[:2]>/<digest>.json
+
+Each entry is an *envelope* recording the code version, the stage, the spec
+name/hash and the artifact document.  Reads validate the envelope: an entry
+written by a different code version (or a truncated/corrupted file) is
+treated as a miss, never as an error — a stale store degrades to
+recomputation, it cannot poison results.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent writers —
+process-pool batch workers, server threads — can share a store without
+locking; both sides of a race write byte-identical content.
+
+The default location is ``~/.cache/repro`` (or ``$REPRO_STORE``); every API
+entry point accepts an explicit path instead.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+#: Version of the artifact-producing code.  Entries written under a
+#: different code version are ignored on read (treated as misses), so a
+#: store can safely outlive the code that filled it.  Bump whenever the
+#: semantics of any stage computation or artifact schema changes.
+CODE_VERSION = "repro-5.0"
+
+#: Version of the on-disk layout (the ``v<N>`` directory level).
+LAYOUT_VERSION = 1
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+def default_store_path() -> Path:
+    """The default store root: ``$REPRO_STORE`` or ``~/.cache/repro``."""
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home).expanduser() if cache_home else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(key: object) -> str:
+    """Canonical JSON encoding of a cache key (tuples become lists)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"), default=_encode)
+
+
+def _encode(value: object):
+    """JSON fallback for the non-JSON atoms appearing in stage keys."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"unhashable store-key component: {value!r}")
+
+
+class ArtifactStore:
+    """A content-addressed JSON store for pipeline stage artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created lazily on first write).
+        ``None`` selects :func:`default_store_path`.
+    code_version:
+        Overrides the code-version stamp (tests use this to pin the
+        stale-store behaviour; production code never passes it).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        code_version: str = CODE_VERSION,
+    ):
+        self.root = Path(root).expanduser() if root is not None else default_store_path()
+        self.code_version = code_version
+        #: read/write counters of THIS handle (per-process introspection)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+
+    def digest_of(self, key: object) -> str:
+        """Content address of a stage key (code version included)."""
+        text = _canonical([self.code_version, key])
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def path_of(self, digest: str) -> Path:
+        return self.root / f"v{LAYOUT_VERSION}" / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: object) -> Optional[dict]:
+        """The artifact document stored under ``key``, or ``None``.
+
+        Corrupted files and entries written by a different code version are
+        misses, not errors.
+        """
+        path = self.path_of(self.digest_of(key))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("code_version") != self.code_version
+            or "artifact" not in envelope
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["artifact"]
+
+    def put(
+        self,
+        key: object,
+        artifact: dict,
+        stage: str = "",
+        spec_name: str = "",
+        spec_hash: str = "",
+    ) -> Path:
+        """Atomically persist an artifact document under ``key``."""
+        digest = self.digest_of(key)
+        path = self.path_of(digest)
+        envelope = {
+            "code_version": self.code_version,
+            "stage": stage,
+            "spec": spec_name,
+            "spec_hash": spec_hash,
+            "artifact": artifact,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(envelope, separators=(",", ":"))
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{digest[:12]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Maintenance / introspection
+    # ------------------------------------------------------------------ #
+
+    def _entry_paths(self):
+        layout = self.root / f"v{LAYOUT_VERSION}"
+        if not layout.is_dir():
+            return
+        for bucket in sorted(layout.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for path in sorted(bucket.glob("*.json")):
+                yield path
+
+    def entries(self) -> list[dict]:
+        """The envelopes of every readable entry (maintenance view)."""
+        result = []
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(envelope, dict):
+                envelope["_path"] = str(path)
+                result.append(envelope)
+        return result
+
+    def stats(self) -> dict:
+        """Entry/byte totals on disk plus this handle's hit/miss counters."""
+        files = 0
+        size = 0
+        stale = 0
+        stages: dict[str, int] = {}
+        for path in self._entry_paths():
+            try:
+                file_size = path.stat().st_size
+                with open(path, "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            files += 1
+            size += file_size
+            if envelope.get("code_version") != self.code_version:
+                stale += 1
+                continue
+            stage = envelope.get("stage") or "unknown"
+            stages[stage] = stages.get(stage, 0) + 1
+        return {
+            "root": str(self.root),
+            "code_version": self.code_version,
+            "entries": files,
+            "stale_entries": stale,
+            "bytes": size,
+            "per_stage": dict(sorted(stages.items())),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+            },
+        }
+
+    def clear(self, spec_pattern: Optional[str] = None) -> int:
+        """Remove entries; returns the number of files deleted.
+
+        ``spec_pattern`` scopes the removal to entries whose recorded spec
+        name matches the glob (entries without a readable envelope only go
+        on a full clear).  A full clear also sweeps up ``.tmp`` litter left
+        behind by writers that were killed between ``mkstemp`` and
+        ``os.replace``.
+        """
+        removed = 0
+        for path in list(self._entry_paths()):
+            if spec_pattern is not None:
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        envelope = json.load(handle)
+                    spec_name = envelope.get("spec", "")
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if not fnmatch.fnmatch(spec_name, spec_pattern):
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if spec_pattern is None:
+            layout = self.root / f"v{LAYOUT_VERSION}"
+            if layout.is_dir():
+                for bucket in layout.iterdir():
+                    if not bucket.is_dir():
+                        continue
+                    for path in bucket.iterdir():
+                        if path.suffix == ".tmp":
+                            try:
+                                path.unlink()
+                                removed += 1
+                            except OSError:
+                                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r}, code_version={self.code_version!r})"
+
+
+def get_store(
+    store: Union["ArtifactStore", str, os.PathLike, None],
+    default: bool = False,
+) -> Optional[ArtifactStore]:
+    """Resolve a store argument: instance, path, or (optionally) the default.
+
+    ``None`` resolves to the default store when ``default=True`` (the CLI and
+    the server are durable by default) and to "no store" otherwise (library
+    callers opt in explicitly — constructing a plain :class:`Pipeline` never
+    touches the filesystem).
+    """
+    if isinstance(store, ArtifactStore):
+        return store
+    if store is not None:
+        return ArtifactStore(store)
+    if default:
+        return ArtifactStore()
+    return None

@@ -139,6 +139,27 @@ class Cover:
         order = list(variables) if variables is not None else list(self._variables)
         return [cube.to_string(order) for cube in self._cubes]
 
+    def to_json(self) -> dict:
+        """JSON-serializable form: the declared universe plus cube literals.
+
+        Cube order and the declared variable order are both preserved, so
+        the round-trip is structurally lossless (not merely semantically
+        equivalent); packed masks are re-derived on load in the reader's
+        interner order.
+        """
+        return {
+            "variables": list(self._variables),
+            "cubes": [cube.to_json() for cube in self._cubes],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Cover":
+        """Rebuild a cover from :meth:`to_json` output."""
+        return cls(
+            [Cube.from_json(cube) for cube in data.get("cubes", ())],
+            data.get("variables", ()),
+        )
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

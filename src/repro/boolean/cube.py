@@ -380,3 +380,23 @@ class Cube(Mapping[str, int]):
             (name if value else f"{name}'")
             for name, value in sorted(self._literals.items())
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """JSON-serializable literal mapping (sorted for canonical output).
+
+        Like :meth:`__reduce__`, the serialized form names the variables
+        rather than shipping the packed masks: the bit positions depend on
+        the process-global interner order, so the masks are rebuilt (and the
+        variables re-interned) when the cube is reconstructed in another
+        process.
+        """
+        return {name: value for name, value in sorted(self._literals.items())}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, int]) -> "Cube":
+        """Rebuild a cube from :meth:`to_json` output (re-interns variables)."""
+        return cls({name: int(value) for name, value in data.items()})

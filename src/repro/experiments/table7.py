@@ -10,6 +10,7 @@ cross-over.
 
 from __future__ import annotations
 
+from repro.api.events import Event
 from repro.api.pipeline import Pipeline
 from repro.api.spec import Spec
 from repro.benchmarks import scalable
@@ -25,8 +26,13 @@ def table7_rows(
     philosophers=DEFAULT_PHILOSOPHERS,
     pipelines=DEFAULT_PIPELINES,
     baseline_limit: int = BASELINE_MARKING_LIMIT,
+    on_event=None,
 ) -> list[dict]:
-    """Rows for both scalable families."""
+    """Rows for both scalable families.
+
+    ``on_event`` receives one ``job`` progress event per case plus the
+    pipeline's ``stage`` events (no store: the timings are the product).
+    """
     rows: list[dict] = []
     cases = [
         (f"philosophers_{n}", lambda n=n: scalable.dining_philosophers(n))
@@ -35,9 +41,12 @@ def table7_rows(
         (f"muller_pipeline_{n}", lambda n=n: scalable.muller_pipeline(n))
         for n in pipelines
     ]
-    for name, builder in cases:
+    for index, (name, builder) in enumerate(cases):
+        if on_event is not None:
+            on_event(Event(kind="job", spec=name, status="start",
+                           index=index + 1, total=len(cases)))
         spec = Spec.from_stg(builder(), name=name)
-        pipeline = Pipeline()
+        pipeline = Pipeline(on_event=on_event)
         structural = pipeline.run(spec, SynthesisOptions(level=3, assume_csc=True))
         try:
             baseline = pipeline.run(
@@ -62,4 +71,8 @@ def table7_rows(
                 "structural_lits": structural.literals,
             }
         )
+        if on_event is not None:
+            on_event(Event(kind="job", spec=name, status="done",
+                           index=index + 1, total=len(cases),
+                           seconds=structural.total_seconds))
     return rows

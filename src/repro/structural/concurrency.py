@@ -185,6 +185,42 @@ class ConcurrencyRelation:
             for row in places
         }
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """JSON-serializable form: the node order plus one hex row per node.
+
+        The node order is recorded explicitly so a reader can detect a
+        mismatch against the net it rebuilds the relation over (the bit
+        positions are only meaningful relative to that order).
+        """
+        return {
+            "nodes": list(self._names),
+            "rows": [format(row, "x") for row in self._rows],
+        }
+
+    @classmethod
+    def from_json(cls, stg: STG, data: dict) -> "ConcurrencyRelation":
+        """Rebuild a relation over ``stg`` from :meth:`to_json` output.
+
+        Raises :class:`ValueError` when the serialized node order does not
+        match the net's (the rows would be misinterpreted bit-by-bit).
+        """
+        relation = cls(stg)
+        nodes = list(data.get("nodes", ()))
+        if nodes != relation._names:
+            raise ValueError(
+                "serialized concurrency relation does not match the net: "
+                f"{len(nodes)} nodes vs {len(relation._names)}"
+            )
+        rows = [int(row, 16) for row in data.get("rows", ())]
+        if len(rows) != len(relation._rows):
+            raise ValueError("serialized concurrency relation has wrong row count")
+        relation._rows = rows
+        return relation
+
 
 def compute_concurrency_relation(
     stg: STG,

@@ -127,6 +127,39 @@ class SignalImplementation:
             f"reset = {self.reset_expression()})"
         )
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """Lossless JSON-serializable form of the implementation."""
+        return {
+            "signal": self.signal,
+            "architecture": self.architecture.value,
+            "set_cover": self.set_cover.to_json(),
+            "reset_cover": self.reset_cover.to_json(),
+            "region_covers": {
+                transition: cover.to_json()
+                for transition, cover in self.region_covers.items()
+            },
+            "uses_latch": self.uses_latch,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SignalImplementation":
+        """Rebuild an implementation from :meth:`to_json` output."""
+        return cls(
+            signal=data["signal"],
+            architecture=Architecture(data["architecture"]),
+            set_cover=Cover.from_json(data["set_cover"]),
+            reset_cover=Cover.from_json(data["reset_cover"]),
+            region_covers={
+                transition: Cover.from_json(cover)
+                for transition, cover in data.get("region_covers", {}).items()
+            },
+            uses_latch=bool(data.get("uses_latch", True)),
+        )
+
 
 @dataclass
 class Circuit:
@@ -193,6 +226,46 @@ class Circuit:
             f"{self.num_latches()} latches"
         )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """Lossless, versioned JSON form of the circuit.
+
+        Covers serialize by literal names (see :meth:`Cube.to_json`), so a
+        circuit loaded in another process re-interns its variables and
+        re-derives the packed masks — the same contract as pickling.
+        """
+        return {
+            "format": "repro-circuit",
+            "version": 1,
+            "name": self.name,
+            "signal_order": list(self.signal_order),
+            "metadata": dict(self.metadata),
+            "implementations": [
+                self.implementations[signal].to_json() for signal in self.implementations
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_json` output."""
+        if data.get("format") != "repro-circuit":
+            raise ValueError(
+                f"not a circuit document (format={data.get('format')!r})"
+            )
+        implementations = [
+            SignalImplementation.from_json(impl)
+            for impl in data.get("implementations", ())
+        ]
+        return cls(
+            name=data["name"],
+            implementations={impl.signal: impl for impl in implementations},
+            signal_order=tuple(data.get("signal_order", ())),
+            metadata=dict(data.get("metadata", {})),
+        )
 
 
 def combinational_implementation(

@@ -8,6 +8,17 @@ from repro.benchmarks.classic import classic_names, load_classic
 from repro.benchmarks.figures import fig1_stg, fig5_stg, fig6_stg, fig7_glatch_stg
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the default artifact store at a per-test directory.
+
+    The CLI (and anything else resolving the *default* store) is durable by
+    default; tests must neither read a developer's warm ``~/.cache/repro``
+    nor leave entries behind.
+    """
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "artifact-store"))
+
+
 @pytest.fixture()
 def fig1():
     """The running example of the paper (re-creation of Fig. 1)."""

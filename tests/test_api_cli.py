@@ -190,3 +190,115 @@ class TestParser:
     def test_bad_level_rejected(self):
         with pytest.raises(SystemExit):
             main(["synthesize", "fig1", "--level", "9"])
+
+
+class TestJsonRoundTrip:
+    def test_synthesize_json_reloads_identically(self, capsys):
+        """Satellite: the --json document is versioned and lossless."""
+        from repro.api.artifacts import ARTIFACT_VERSION, Report
+
+        code, out, _ = run_cli(
+            capsys, "synthesize", "sequencer", "--json", "--map", "--verify"
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["format"] == "repro-report"
+        assert data["version"] == ARTIFACT_VERSION
+        assert data["synthesize"]["version"] == ARTIFACT_VERSION
+        report = Report.from_json(data)
+        assert report.to_json() == data
+
+    def test_output_file_reloads_identically(self, capsys, tmp_path):
+        from repro.api.artifacts import Report
+
+        path = tmp_path / "report.json"
+        code, _, _ = run_cli(capsys, "synthesize", "glatch_3", "-o", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert Report.from_json(data).to_json() == data
+
+
+class TestCacheCommand:
+    def test_stats_clear_prewarm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli(capsys, "cache", "stats", "--store", store)
+        assert code == 0
+        assert "entries: 0" in out
+
+        code, out, _ = run_cli(
+            capsys, "cache", "prewarm", "glatch_3", "--store", store, "--map"
+        )
+        assert code == 0
+        assert "prewarmed 1/1" in out
+
+        code, out, _ = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["entries"] > 0
+        assert stats["per_stage"]["synthesize"] == 1
+        assert stats["bytes"] > 0
+
+        # a synthesize with matching (default) options through the same
+        # store is a pure store resolution — prewarm keys must line up
+        from repro.api import Pipeline, SynthesisOptions
+
+        pipeline = Pipeline(store=store)
+        pipeline.run("glatch_3", SynthesisOptions(), map_technology=True)
+        assert pipeline.stage_calls["synthesize"] == 0
+        assert pipeline.stage_calls["map"] == 0
+
+        code, out, _ = run_cli(capsys, "cache", "clear", "--store", store)
+        assert code == 0
+        assert "removed" in out
+        code, out, _ = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        assert json.loads(out)["entries"] == 0
+
+    def test_clear_honours_a_spec_pattern(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, _, _ = run_cli(capsys, "cache", "prewarm", "glatch_3", "--store", store)
+        assert code == 0
+        code, _, _ = run_cli(capsys, "cache", "prewarm", "sequencer", "--store", store)
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys, "cache", "clear", "glatch_*", "--store", store
+        )
+        assert code == 0 and "glatch_*" in out
+        code, out, _ = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        stats = json.loads(out)
+        assert stats["entries"] > 0  # the sequencer entries survived
+
+    def test_stats_rejects_a_pattern(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "cache", "stats", "glatch_*", "--store", str(tmp_path / "s")
+        )
+        assert code == 2
+        assert "no pattern" in err
+
+    def test_prewarm_unknown_glob_is_a_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "cache", "prewarm", "zzz_no_such_*", "--store", str(tmp_path / "s"),
+        )
+        assert code == 2
+        assert "no registry benchmark" in err
+
+    def test_store_speeds_up_repeat_cli_invocations(self, capsys, tmp_path):
+        """Two CLI runs share artifacts through --store (fresh Pipelines)."""
+        store = str(tmp_path / "store")
+        code, first, _ = run_cli(
+            capsys, "synthesize", "sequencer", "--store", store, "--json"
+        )
+        assert code == 0
+        code, second, _ = run_cli(
+            capsys, "synthesize", "sequencer", "--store", store, "--json"
+        )
+        assert code == 0
+        first_doc, second_doc = json.loads(first), json.loads(second)
+        # identical artifacts (including exact timings: they were loaded)
+        assert second_doc["synthesize"] == first_doc["synthesize"]
+
+    def test_no_store_disables_persistence(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "default-store"))
+        code, _, _ = run_cli(capsys, "synthesize", "fig1", "--no-store")
+        assert code == 0
+        assert not (tmp_path / "default-store").exists()

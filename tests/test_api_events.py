@@ -1,0 +1,164 @@
+"""Tests of the structured event stream and the stage scheduler."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.api import (
+    EventLog,
+    Job,
+    Pipeline,
+    Scheduler,
+    Spec,
+    SpecError,
+    SynthesisOptions,
+    make_jobs,
+    progress_printer,
+    synthesize_many,
+)
+from repro.api.events import Event, fanout
+
+
+class TestEvents:
+    def test_pipeline_emits_stage_events(self):
+        log = EventLog()
+        pipeline = Pipeline(on_event=log)
+        pipeline.synthesize("sequencer", SynthesisOptions(assume_csc=True))
+        statuses = log.stage_statuses("synthesize")
+        assert statuses == ["computed"]
+        assert log.stage_statuses("analyze") == ["computed"]
+        # a repeat resolves from memory
+        pipeline.synthesize("sequencer", SynthesisOptions(assume_csc=True))
+        assert log.stage_statuses("synthesize") == ["computed", "memory"]
+
+    def test_store_hits_are_visible_in_events(self, tmp_path):
+        options = SynthesisOptions(assume_csc=True)
+        Pipeline(store=tmp_path / "store").synthesize("fig1", options)
+        log = EventLog()
+        pipeline = Pipeline(store=tmp_path / "store", on_event=log)
+        pipeline.synthesize("fig1", options)
+        assert log.stage_statuses("synthesize") == ["store"]
+        # the store hit short-circuits the whole chain: the front-end
+        # stages are never even consulted
+        assert log.stage_statuses("analyze") == []
+
+    def test_progress_printer_renders_one_line_per_event(self):
+        stream = io.StringIO()
+        callback = progress_printer(stream)
+        callback(Event(kind="stage", spec="s", status="computed", stage="analyze", seconds=0.25))
+        callback(Event(kind="job", spec="s", status="done", index=2, total=7))
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "s analyze computed 0.250s"
+        assert lines[1] == "[2/7] s done"
+
+    def test_fanout_combines_callbacks(self):
+        first, second = EventLog(), EventLog()
+        combined = fanout(first, None, second)
+        combined(Event(kind="job", spec="x", status="start"))
+        assert len(first) == 1 and len(second) == 1
+        assert fanout(None, None) is None
+        assert fanout(first) is first
+
+
+class TestScheduler:
+    def test_sequential_batch_emits_job_events(self):
+        log = EventLog()
+        scheduler = Scheduler(on_event=log)
+        jobs = make_jobs(
+            ["fig1", "sequencer"], SynthesisOptions(assume_csc=True)
+        )
+        reports = scheduler.run(jobs)
+        assert [r.spec_name for r in reports] == ["fig1", "sequencer"]
+        job_events = log.of_kind("job")
+        assert [e.status for e in job_events] == ["start", "done", "start", "done"]
+        assert job_events[0].index == 1 and job_events[0].total == 2
+        # sequential mode also forwards the pipeline's stage events
+        assert log.of_kind("stage")
+
+    def test_pool_batch_shares_the_store(self, tmp_path):
+        store = tmp_path / "store"
+        names = ["fig1", "sequencer", "handshake_seq", "glatch_3"]
+        options = SynthesisOptions(assume_csc=True)
+        parallel = synthesize_many(names, options, jobs=2, store=store)
+        sequential = synthesize_many(names, options)
+        assert [r.literals for r in parallel] == [r.literals for r in sequential]
+
+        # the workers persisted their artifacts: a fresh pipeline is warm
+        fresh = Pipeline(store=store)
+        for name in names:
+            fresh.synthesize(name, options)
+        assert fresh.stage_calls["synthesize"] == 0
+
+    def test_iter_results_surfaces_errors_without_stopping(self):
+        jobs = [
+            Job.make("fig1", SynthesisOptions(assume_csc=True)),
+            Job.make("fig5", SynthesisOptions()),  # CSC not certified: error
+            Job.make("sequencer", SynthesisOptions(assume_csc=True)),
+        ]
+        log = EventLog()
+        results = list(Scheduler(on_event=log).iter_results(jobs))
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].error is not None
+        assert "error" in [e.status for e in log.of_kind("job")]
+
+    def test_run_fails_fast_on_the_first_error(self):
+        """Matches the pre-scheduler batch loop: abort at the first failure."""
+        log = EventLog()
+        jobs = [
+            Job.make("fig5", SynthesisOptions()),  # CSC not certified: error
+            Job.make("fig1", SynthesisOptions(assume_csc=True)),
+        ]
+        with pytest.raises(Exception):
+            Scheduler(on_event=log).run(jobs)
+        # the second job never ran
+        assert [e.status for e in log.of_kind("job")] == ["start", "error"]
+
+    def test_job_make_rejects_unknown_specs(self):
+        with pytest.raises(SpecError):
+            Job.make("definitely_not_a_benchmark")
+
+    def test_scheduler_reuses_a_shared_pipeline(self):
+        pipeline = Pipeline()
+        scheduler = Scheduler(pipeline=pipeline)
+        spec = Spec.from_benchmark("sequencer")
+        options = SynthesisOptions(assume_csc=True)
+        scheduler.run(make_jobs([spec, spec], options))
+        assert pipeline.stage_calls["synthesize"] == 1
+
+    def test_run_with_pipeline_and_store_persists(self, tmp_path):
+        """repro.api.run must honour store= even when reusing a pipeline."""
+        from repro.api import run
+
+        pipeline = Pipeline()
+        store = tmp_path / "store"
+        run("fig1", assume_csc=True, pipeline=pipeline, store=store)
+        assert pipeline.store is not None
+        assert pipeline.store.stats()["entries"] > 0
+
+    def test_pool_workers_inherit_a_custom_code_version(self, tmp_path):
+        """Workers must rebuild the parent's store stamp, not the default."""
+        from repro.api import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store", code_version="pinned-test-1")
+        options = SynthesisOptions(assume_csc=True)
+        Scheduler(jobs=2, store=store).run(make_jobs(["fig1", "sequencer"], options))
+        # the parent handle (same stamp) sees the worker-written entries
+        warm = Pipeline(store=ArtifactStore(tmp_path / "store", code_version="pinned-test-1"))
+        warm.synthesize("fig1", options)
+        assert warm.stage_calls["synthesize"] == 0
+
+    def test_explicit_pipeline_with_store_still_persists(self, tmp_path):
+        """An explicit store is attached to a reused pipeline, not dropped."""
+        pipeline = Pipeline()
+        store = tmp_path / "store"
+        synthesize_many(
+            ["fig1"], SynthesisOptions(assume_csc=True),
+            pipeline=pipeline, store=store,
+        )
+        assert pipeline.store is not None
+        assert pipeline.store.stats()["entries"] > 0
+        fresh = Pipeline(store=store)
+        fresh.synthesize("fig1", SynthesisOptions(assume_csc=True))
+        assert fresh.stage_calls["synthesize"] == 0

@@ -1,0 +1,198 @@
+"""Tests of the ``repro serve`` daemon and its Python client.
+
+The server is driven in-process: ``create_server(port=0)`` binds an
+ephemeral port and a background thread serves it — the same harness the CI
+smoke job uses from a separate process.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Pipeline, SynthesisOptions
+from repro.api.client import Client, ClientError
+from repro.api.server import create_server
+from repro.benchmarks.classic import load_classic
+from repro.stg.writer import write_g
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A serving (server, client) pair with a per-test store."""
+    server = create_server(port=0, store=tmp_path / "store")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        yield server, Client(f"http://127.0.0.1:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestEndpoints:
+    def test_health_and_benchmarks(self, served):
+        _, client = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "sequencer" in client.benchmarks()
+
+    def test_synthesize_returns_a_typed_report(self, served):
+        _, client = served
+        result = client.synthesize(
+            "sequencer", assume_csc=True, map_technology=True, verify=True
+        )
+        assert result.report.literals > 0
+        assert result.report.mapping.total_area > 0
+        assert result.report.verification.speed_independent is True
+        assert not result.cached
+
+    def test_repeated_request_is_served_from_cache(self, served):
+        _, client = served
+        first = client.synthesize("sequencer", assume_csc=True, verify=True)
+        second = client.synthesize("sequencer", assume_csc=True, verify=True)
+        assert not first.cached
+        assert second.cached
+        assert second.resolution["computed"] == 0
+        assert second.report.literals == first.report.literals
+
+    def test_warm_store_survives_a_server_restart(self, served, tmp_path):
+        server, client = served
+        client.synthesize("handshake_seq", assume_csc=True)
+        # a brand-new service over the same store resolves from disk
+        restarted = create_server(port=0, store=tmp_path / "store")
+        thread = threading.Thread(target=restarted.serve_forever, daemon=True)
+        thread.start()
+        try:
+            fresh = Client(f"http://127.0.0.1:{restarted.server_address[1]}")
+            result = fresh.synthesize("handshake_seq", assume_csc=True)
+            assert result.cached
+            assert result.resolution["store"] > 0
+        finally:
+            restarted.shutdown()
+            restarted.server_close()
+            thread.join(timeout=5)
+
+    def test_inline_g_text_spec(self, served):
+        _, client = served
+        text = write_g(load_classic("sequencer"))
+        result = client.synthesize(text, assume_csc=True)
+        assert result.report.spec_name == "sequencer"
+
+    def test_verify_and_mapped(self, served):
+        _, client = served
+        payload = client.verify("sequencer", assume_csc=True, mapped=True)
+        assert payload["verify"]["speed_independent"] is True
+        assert payload["verify_mapped"]["equivalent"] is True
+
+    def test_compare(self, served):
+        _, client = served
+        payload = client.compare("handshake_seq")
+        assert payload["comparison"]["matching"] is True
+        assert payload["comparison"]["checked_markings"] > 0
+
+    def test_export(self, served):
+        _, client = served
+        text = client.export("sequencer", "verilog", assume_csc=True)
+        assert "module" in text
+        from repro.gates import validate_verilog
+
+        validate_verilog(text)
+
+    def test_cache_stats_and_clear(self, served):
+        _, client = served
+        client.synthesize("fig1", assume_csc=True)
+        stats = client.cache_stats()
+        assert stats["stage_calls"]["synthesize"] >= 1
+        assert stats["store"]["entries"] > 0
+        cleared = client.cache_clear(disk=True)
+        assert cleared["cleared"] is True
+        assert cleared["disk_entries_removed"] > 0
+        assert client.cache_stats()["store"]["entries"] == 0
+
+
+class TestErrors:
+    def test_unknown_spec_is_a_400(self, served):
+        _, client = served
+        with pytest.raises(ClientError) as excinfo:
+            client.synthesize("no_such_benchmark_at_all")
+        assert excinfo.value.status == 400
+        assert "no_such_benchmark_at_all" in excinfo.value.message
+
+    def test_synthesis_error_is_a_400(self, served):
+        _, client = served
+        # fig5 has structural CSC conflicts; without assume_csc it must fail
+        with pytest.raises(ClientError) as excinfo:
+            client.synthesize("fig5")
+        assert excinfo.value.status == 400
+        assert "CSC" in excinfo.value.message
+
+    def test_unknown_endpoint_is_a_404(self, served):
+        _, client = served
+        with pytest.raises(ClientError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_is_a_400(self, served):
+        server, client = served
+        request = urllib.request.Request(
+            client.base_url + "/synthesize",
+            data=b"{ not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_memory_cache_is_bounded_by_eviction(self, tmp_path):
+        """A stream of distinct requests must not grow memory without bound."""
+        from repro.api.server import SynthesisService
+
+        service = SynthesisService(store=tmp_path / "store", max_cached_artifacts=3)
+        for name in ("fig1", "sequencer", "handshake_seq", "glatch_3"):
+            service.dispatch("POST", "/synthesize", {"spec": name, "assume_csc": True})
+        assert service.evictions >= 1
+        assert sum(service.pipeline.cache_info().values()) <= 3 + 6
+        # evicted artifacts reload from the store, not recompute
+        before = dict(service.pipeline.stage_calls)
+        service.dispatch("POST", "/synthesize", {"spec": "fig1", "assume_csc": True})
+        assert dict(service.pipeline.stage_calls) == before
+
+    def test_caller_pipeline_event_callback_is_composed_not_replaced(self):
+        from repro.api import EventLog
+
+        log = EventLog()
+        server = create_server(port=0, pipeline=Pipeline(on_event=log))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+            result = client.synthesize("fig1", assume_csc=True)
+            # both consumers saw the stage events: the caller's log...
+            assert log.stage_statuses("synthesize") == ["computed"]
+            # ...and the per-request resolution summary
+            assert result.resolution["computed"] > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_server_without_store_still_serves(self):
+        server = create_server(port=0, store=None, pipeline=Pipeline())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+            result = client.synthesize("fig1", assume_csc=True)
+            assert result.report.literals > 0
+            assert "store" not in client.cache_stats()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
