@@ -21,6 +21,14 @@ batches through a process pool with structured progress events, and the
 whole pipeline can be served as a long-lived HTTP daemon
 (``python -m repro serve`` / :class:`repro.api.client.Client`).
 
+Since PR 6 the execution layers are *fault-tolerant*, and provably so:
+deterministic, seedable fault injection (:mod:`repro.api.faults`, the
+``faults=`` keyword, ``$REPRO_FAULTS``) drives a chaos suite over retrying
+(:class:`~repro.api.scheduler.RetryPolicy`), per-job deadlines, crashed
+worker-pool recovery (:class:`~repro.api.scheduler.PoisonJobError`
+quarantines repeat killers), store corruption quarantine, and graceful
+server degradation (bounded admission, ``/ready``, structured errors).
+
 Convenience entry points::
 
     from repro.api import run, compare, synthesize_many
@@ -59,8 +67,24 @@ from repro.api.backends import (
 from repro.api.batch import synthesize_many
 from repro.api.client import Client, ClientError
 from repro.api.events import Event, EventLog, progress_printer
+from repro.api.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    TransientError,
+    get_injector,
+)
 from repro.api.pipeline import Pipeline
-from repro.api.scheduler import Job, JobResult, Scheduler, make_jobs
+from repro.api.scheduler import (
+    NO_RETRY,
+    Job,
+    JobResult,
+    JobTimeoutError,
+    PoisonJobError,
+    RetryPolicy,
+    Scheduler,
+    make_jobs,
+)
 from repro.api.spec import Spec, SpecError, SpecLike
 from repro.api.store import ArtifactStore, default_store_path, get_store
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
@@ -122,13 +146,20 @@ __all__ = [
     "ComparisonReport",
     "Event",
     "EventLog",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
     "Job",
     "JobResult",
+    "JobTimeoutError",
     "MappedVerificationArtifact",
     "MappingArtifact",
+    "NO_RETRY",
     "Pipeline",
+    "PoisonJobError",
     "RefinementArtifact",
     "Report",
+    "RetryPolicy",
     "Scheduler",
     "Spec",
     "SpecError",
@@ -138,10 +169,12 @@ __all__ = [
     "SynthesisArtifact",
     "SynthesisError",
     "SynthesisOptions",
+    "TransientError",
     "VerificationArtifact",
     "compare",
     "default_store_path",
     "get_backend",
+    "get_injector",
     "get_store",
     "make_jobs",
     "progress_printer",

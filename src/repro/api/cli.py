@@ -77,6 +77,16 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print one progress line per resolved stage to stderr",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'seed=7;store.read=0.5;stage.error@synthesize=1x1' "
+            "(default $REPRO_FAULTS; testing/chaos runs only)"
+        ),
+    )
 
 
 def _add_spec_options(parser: argparse.ArgumentParser) -> None:
@@ -110,7 +120,7 @@ def _pipeline_from_args(args) -> Pipeline:
     else:
         store = get_store(getattr(args, "store", None), default=True)
     on_event = progress_printer() if getattr(args, "progress", False) else None
-    return Pipeline(store=store, on_event=on_event)
+    return Pipeline(store=store, on_event=on_event, faults=getattr(args, "faults", None))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -194,7 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser("cache", help="inspect or manage the artifact store")
     cache.add_argument(
-        "action", choices=("stats", "clear", "prewarm"), help="what to do"
+        "action", choices=("stats", "clear", "prewarm", "sweep"), help="what to do"
     )
     cache.add_argument(
         "pattern",
@@ -245,6 +255,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-store",
         action="store_true",
         help="serve from memory only (no disk store)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="locked requests in flight before shedding with 503 (default 8)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="seconds an admitted request may wait for the service lock "
+        "before a 504 (default: wait indefinitely)",
     )
     _add_store_location(serve)
 
@@ -429,6 +452,25 @@ def _cmd_cache(args) -> int:
             )
             for stage, count in stats["per_stage"].items():
                 print(f"  {stage}: {count}")
+            if stats["quarantined_entries"] or stats["tmp_files"] or stats["tmp_swept"]:
+                print(
+                    f"  quarantined: {stats['quarantined_entries']}, "
+                    f"orphaned tmp: {stats['tmp_files']} "
+                    f"(swept {stats['tmp_swept']})"
+                )
+        return 0
+
+    if args.action == "sweep":
+        if args.pattern is not None:
+            print("error: `cache sweep` takes no pattern", file=sys.stderr)
+            return 2
+        swept = store.sweep()
+        _emit(
+            swept,
+            args.json,
+            f"swept {swept['tmp_removed']} orphaned temp file(s), "
+            f"quarantined {swept['stale_quarantined']} damaged/stale entr(y/ies)",
+        )
         return 0
 
     if args.action == "clear":
@@ -499,7 +541,12 @@ def _cmd_serve(args) -> int:
 
     store = None if args.no_store else get_store(args.store, default=True)
     return run_server(
-        host=args.host, port=args.port, store=store, verbose=args.verbose
+        host=args.host,
+        port=args.port,
+        store=store,
+        verbose=args.verbose,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
     )
 
 
@@ -526,8 +573,15 @@ _COMMANDS = {
 def main(argv: Optional[list[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    from repro.api.faults import InjectedFault
+
     try:
         return _COMMANDS[args.command](args)
+    except InjectedFault as error:
+        # a chaos run's unrecovered fault: its own exit code so smoke
+        # scripts can tell "fault escaped" from ordinary bad input
+        print(f"injected fault: {error}", file=sys.stderr)
+        return 3
     except SpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -18,14 +18,20 @@ text before being sent (the server never needs access to the client's
 filesystem).
 
 Server-side request errors (HTTP 4xx/5xx) surface as :class:`ClientError`
-carrying the server's message; connection failures raise the usual
-``urllib.error.URLError``.
+carrying the server's structured error document (stable ``code``, the
+human ``message``, and the ``retryable`` flag); connection failures raise
+the usual ``urllib.error.URLError``.  Responses the server marks retryable
+— overload shedding (503), deadline misses (504) — and transient transport
+failures are retried automatically with exponential backoff, honouring the
+server's ``Retry-After`` header; ``Client(retries=0)`` restores the
+single-shot behaviour.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -38,12 +44,42 @@ from repro.stg.writer import write_g
 
 
 class ClientError(RuntimeError):
-    """A request the server rejected (carries the server's error message)."""
+    """A request the server rejected.
 
-    def __init__(self, status: int, message: str):
+    Carries the server's structured error document: ``status`` (HTTP),
+    ``code`` (stable machine-readable identifier, e.g. ``spec_error`` or
+    ``overloaded``), ``message`` (human-readable) and ``retryable``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: str = "",
+        retryable: bool = False,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.code = code
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
+def _parse_error_body(error: urllib.error.HTTPError) -> tuple[str, str, bool]:
+    """(code, message, retryable) from a structured or legacy error body."""
+    try:
+        document = json.loads(error.read().decode("utf-8")).get("error", "")
+    except (ValueError, OSError):
+        return "", str(error.reason), False
+    if isinstance(document, dict):
+        return (
+            str(document.get("code", "")),
+            str(document.get("message", "")),
+            bool(document.get("retryable", False)),
+        )
+    return "", str(document), False
 
 
 @dataclass
@@ -82,17 +118,32 @@ def _spec_payload(spec: SpecLike) -> str:
 
 
 class Client:
-    """HTTP client bound to one ``repro serve`` base URL."""
+    """HTTP client bound to one ``repro serve`` base URL.
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8765", timeout: float = 300.0):
+    ``retries`` bounds *additional* attempts after the first (0 disables
+    retrying); only responses the server marks ``retryable`` (and transport
+    errors such as a connection reset mid-restart) are retried, after an
+    exponential backoff starting at ``backoff`` seconds — or after the
+    server's ``Retry-After`` hint when one is sent and is larger.
+    """
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8765",
+        timeout: float = 300.0,
+        retries: int = 3,
+        backoff: float = 0.25,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -104,12 +155,38 @@ class Client:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            try:
-                message = json.loads(error.read().decode("utf-8")).get("error", "")
-            except (ValueError, OSError):
-                message = error.reason
-            raise ClientError(error.code, message) from error
+            code, message, retryable = _parse_error_body(error)
+            retry_after: Optional[float] = None
+            hint = error.headers.get("Retry-After") if error.headers else None
+            if hint:
+                try:
+                    retry_after = float(hint)
+                except ValueError:
+                    pass
+            raise ClientError(
+                error.code, message, code=code, retryable=retryable,
+                retry_after=retry_after,
+            ) from error
         return payload
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, body)
+            except ClientError as error:
+                if not error.retryable or attempt > self.retries:
+                    raise
+                delay = self.backoff * 2.0 ** (attempt - 1)
+                if error.retry_after is not None:
+                    delay = max(delay, error.retry_after)
+            except urllib.error.URLError:
+                # connection refused/reset — e.g. the daemon restarting
+                if attempt > self.retries:
+                    raise
+                delay = self.backoff * 2.0 ** (attempt - 1)
+            time.sleep(delay)
 
     # ------------------------------------------------------------------ #
     # Endpoints

@@ -14,9 +14,11 @@ Event kinds
 * ``stage`` — one pipeline stage resolved for one spec.  ``status`` tells
   how: ``computed`` (an actual stage computation), ``memory`` (in-process
   cache hit) or ``store`` (on-disk artifact store hit).
-* ``job`` — one scheduler job changed state: ``start``, ``done`` or
-  ``error``; ``index``/``total`` carry batch progress, ``detail`` a short
-  human-readable summary (literal count, error text).
+* ``job`` — one scheduler job changed state: ``start``, ``done``,
+  ``retry`` (a retryable failure or timeout, about to run again),
+  ``timeout``, or ``error``; ``index``/``total`` carry batch progress,
+  ``attempt`` the 1-based execution attempt, ``detail`` a short
+  human-readable summary (literal count, error text, backoff delay).
 
 Consumers
 ---------
@@ -46,12 +48,13 @@ class Event:
 
     kind: str  # "stage" | "job"
     spec: str
-    status: str  # stage: computed|memory|store — job: start|done|error
+    status: str  # stage: computed|memory|store — job: start|done|retry|timeout|error
     stage: Optional[str] = None  # analyze|refine|synthesize|map|verify|verify_mapped
     seconds: Optional[float] = None
     index: Optional[int] = None  # 1-based position within a batch
     total: Optional[int] = None
     detail: Optional[str] = None
+    attempt: Optional[int] = None  # 1-based job execution attempt
 
     def describe(self) -> str:
         """One-line human readable rendering."""
@@ -62,6 +65,8 @@ class Event:
         if self.stage is not None:
             parts.append(self.stage)
         parts.append(self.status)
+        if self.attempt is not None and self.attempt > 1:
+            parts.append(f"attempt {self.attempt}")
         if self.seconds is not None:
             parts.append(f"{self.seconds:.3f}s")
         if self.detail:

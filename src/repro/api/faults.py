@@ -1,0 +1,290 @@
+"""Deterministic, seedable fault injection for the execution layers.
+
+The paper's circuits stay correct under *arbitrary gate delays*; this module
+gives the serving stack the analogous discipline under arbitrary process, IO
+and load faults — and makes the hardening *provable* rather than hoped-for.
+A :class:`FaultInjector` holds a set of :class:`FaultRule`\\ s, each naming
+one injection point (a *site*), and every hardened layer asks the injector
+before the guarded operation:
+
+=================  =====================================================
+site               effect when the rule fires
+=================  =====================================================
+``store.read``     :class:`InjectedIOError` while reading a store entry
+                   (the store must degrade to a miss, never an error)
+``store.write``    :class:`InjectedIOError` while persisting an entry
+                   (the pipeline must keep the computed result)
+``store.corrupt``  the entry is written *truncated* — a later reader must
+                   quarantine it and recompute
+``stage.error``    the pipeline stage raises :class:`InjectedStageError`
+                   (a retryable :class:`TransientError`)
+``stage.delay``    the stage sleeps ``~seconds`` before computing
+``worker.kill``    the process-pool worker exits hard (``os._exit``),
+                   breaking the pool mid-batch
+=================  =====================================================
+
+Activation is explicit — ``Pipeline(faults=...)``, ``Scheduler(faults=...)``
+or the ``$REPRO_FAULTS`` environment variable — and **zero overhead when
+off**: the hardened code paths hold ``None`` and perform a single attribute
+check.
+
+Grammar
+-------
+
+A fault spec is a ``;``-separated list of clauses::
+
+    seed=7 ; site[@scope] = rate [xLIMIT] [~SECONDS]
+
+* ``rate``    — probability per opportunity (``1`` fires always);
+* ``@scope``  — restricts the rule to one stage name (``stage.*`` sites) or
+  one spec name (``worker.kill``);
+* ``xLIMIT``  — budget: at most ``LIMIT`` firings (for token-driven sites
+  such as ``worker.kill``, fire only while the attempt number is ≤ LIMIT);
+* ``~SECONDS`` — the injected latency (``stage.delay`` only).
+
+Example: ``seed=7;worker.kill@sequencer=1x1;stage.error@synthesize=0.5;``
+``stage.delay@analyze=1x2~0.05;store.read=0.25``.
+
+Determinism
+-----------
+
+Every decision is a pure function of ``(seed, site, scope, token)`` hashed
+through SHA-256 — no wall clock, no global RNG.  Within one process the
+token defaults to a per-rule opportunity counter, so a fixed seed replays an
+identical fault schedule.  Across process boundaries (pool workers) the
+caller *binds* an explicit token — the job's attempt number — so decisions
+like "kill the worker on attempt 1, spare attempt 2" hold no matter which
+worker process executes which attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Environment variable activating fault injection process-wide (workers
+#: inherit it, so a chaos run covers both sides of the pool boundary).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: The injection points the execution layers expose.
+FAULT_SITES = (
+    "store.read",
+    "store.write",
+    "store.corrupt",
+    "stage.error",
+    "stage.delay",
+    "worker.kill",
+)
+
+
+class InjectedFault(Exception):
+    """Marker base of every artificially injected failure."""
+
+
+class TransientError(RuntimeError):
+    """A retryable failure: the operation may succeed if repeated.
+
+    The scheduler's :class:`~repro.api.scheduler.RetryPolicy` classifies
+    subclasses (and ``OSError``/``TimeoutError``) as retryable; raise it
+    from custom stages to opt into retries.
+    """
+
+
+class InjectedIOError(InjectedFault, OSError):
+    """An injected store IO failure (reads degrade to misses, writes drop)."""
+
+
+class InjectedStageError(InjectedFault, TransientError):
+    """An injected (retryable) stage computation failure."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where* to fire, *how often*, and *how hard*."""
+
+    site: str
+    scope: Optional[str] = None  # stage / spec name; None matches everything
+    rate: float = 1.0  # firing probability per opportunity
+    limit: Optional[int] = None  # budget (max firings / max attempt token)
+    seconds: float = 0.0  # injected latency (stage.delay)
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r} (available: {', '.join(FAULT_SITES)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+    def to_text(self) -> str:
+        clause = self.site
+        if self.scope is not None:
+            clause += f"@{self.scope}"
+        clause += f"={self.rate:g}"
+        if self.limit is not None:
+            clause += f"x{self.limit}"
+        if self.seconds:
+            clause += f"~{self.seconds:g}"
+        return clause
+
+
+def _parse_clause(clause: str) -> FaultRule:
+    if "=" not in clause:
+        raise ValueError(f"malformed fault clause {clause!r} (expected site=rate)")
+    head, _, trigger = clause.partition("=")
+    site, _, scope = head.strip().partition("@")
+    scope = scope.strip() or None
+    trigger = trigger.strip()
+    seconds = 0.0
+    if "~" in trigger:
+        trigger, _, tail = trigger.partition("~")
+        seconds = float(tail)
+    limit: Optional[int] = None
+    if "x" in trigger:
+        trigger, _, tail = trigger.partition("x")
+        limit = int(tail)
+    rate = float(trigger) if trigger else 1.0
+    return FaultRule(site=site.strip(), scope=scope, rate=rate, limit=limit, seconds=seconds)
+
+
+class FaultInjector:
+    """A deterministic fault schedule over a set of :class:`FaultRule`\\ s.
+
+    ``token`` (when bound or passed to :meth:`fire`) replaces the per-rule
+    opportunity counter, making decisions reproducible across processes.
+    """
+
+    def __init__(
+        self, rules, seed: int = 0, token: Optional[int] = None, salt: str = ""
+    ):
+        self.rules = tuple(rules)
+        self.seed = seed
+        self.token = token
+        #: extra hash material (e.g. the spec hash) diversifying token-mode
+        #: decisions across jobs that share the same attempt number
+        self.salt = salt
+        #: per-rule opportunity counters (used when no token is bound)
+        self._opportunities: dict[int, int] = {}
+        #: per-rule firing counts (observability; budget for counter mode)
+        self.fired: dict[str, int] = {}
+        self._fired_by_rule: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction / transport
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str, token: Optional[int] = None) -> "FaultInjector":
+        """Build an injector from the ``$REPRO_FAULTS`` grammar."""
+        seed = 0
+        rules = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[5:])
+                continue
+            rules.append(_parse_clause(clause))
+        return cls(rules, seed=seed, token=token)
+
+    def to_text(self) -> str:
+        """The grammar form (crosses process boundaries losslessly)."""
+        clauses = [f"seed={self.seed}"]
+        clauses.extend(rule.to_text() for rule in self.rules)
+        return ";".join(clauses)
+
+    def bind(self, token: int, salt: str = "") -> "FaultInjector":
+        """A fresh injector whose decisions are keyed on ``token``."""
+        return FaultInjector(self.rules, seed=self.seed, token=token, salt=salt)
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def _chance(self, rule: FaultRule, token: int) -> float:
+        text = f"{self.seed}|{self.salt}|{rule.site}|{rule.scope or ''}|{token}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def fire(
+        self, site: str, scope: Optional[str] = None, token: Optional[int] = None
+    ) -> Optional[FaultRule]:
+        """The matching rule if this opportunity fires, else ``None``."""
+        if token is None:
+            token = self.token
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.scope is not None and rule.scope != scope:
+                continue
+            if token is None:
+                # counter mode: the budget caps total firings in-process
+                if rule.limit is not None and self._fired_by_rule.get(index, 0) >= rule.limit:
+                    continue
+                opportunity = self._opportunities.get(index, 0) + 1
+                self._opportunities[index] = opportunity
+                decision_token = opportunity
+            else:
+                # token mode: the budget caps the attempt number that fires
+                if rule.limit is not None and token > rule.limit:
+                    continue
+                decision_token = token
+            if rule.rate < 1.0 and self._chance(rule, decision_token) >= rule.rate:
+                continue
+            self.fired[site] = self.fired.get(site, 0) + 1
+            self._fired_by_rule[index] = self._fired_by_rule.get(index, 0) + 1
+            return rule
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Hook helpers (one per hardened layer)
+    # ------------------------------------------------------------------ #
+
+    def raise_io(self, site: str, scope: Optional[str] = None) -> None:
+        """Raise :class:`InjectedIOError` when a ``store.*`` rule fires."""
+        if self.fire(site, scope) is not None:
+            raise InjectedIOError(f"injected {site} fault" + (f" ({scope})" if scope else ""))
+
+    def corrupts_write(self, scope: Optional[str] = None) -> bool:
+        """True when this write should land truncated on disk."""
+        return self.fire("store.corrupt", scope) is not None
+
+    def stage_enter(self, stage: str) -> None:
+        """Apply ``stage.delay`` then ``stage.error`` for one stage compute."""
+        rule = self.fire("stage.delay", stage)
+        if rule is not None and rule.seconds > 0:
+            time.sleep(rule.seconds)
+        if self.fire("stage.error", stage) is not None:
+            raise InjectedStageError(f"injected stage fault in {stage!r}")
+
+    def kill_worker(self, scope: Optional[str] = None, attempt: Optional[int] = None) -> None:
+        """Hard-exit the current process when a ``worker.kill`` rule fires."""
+        if self.fire("worker.kill", scope, token=attempt) is not None:
+            os._exit(13)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.to_text()!r})"
+
+
+FaultsLike = Union[FaultInjector, str, None]
+
+
+def get_injector(faults: FaultsLike = None) -> Optional[FaultInjector]:
+    """Resolve a faults argument: injector, grammar text, or ``$REPRO_FAULTS``.
+
+    ``None`` consults the environment so a chaos run can wrap any entry
+    point (CLI, server, pool workers) without plumbing; unset means *no
+    injection* — the hardened layers then skip the hooks entirely.
+    """
+    if isinstance(faults, FaultInjector):
+        return faults
+    if faults is not None:
+        return FaultInjector.parse(faults)
+    env = os.environ.get(FAULTS_ENV_VAR)
+    if env:
+        return FaultInjector.parse(env)
+    return None

@@ -52,6 +52,7 @@ from repro.api.artifacts import (
     RefinementArtifact,
 )
 from repro.api.events import Event, EventCallback
+from repro.api.faults import FaultsLike, get_injector
 from repro.api.spec import Spec, SpecLike
 from repro.api.store import ArtifactStore, get_store
 from repro.gates.library import get_library
@@ -123,6 +124,13 @@ class Pipeline:
 
     ``on_event`` receives one :class:`~repro.api.events.Event` per stage
     resolution (status ``computed``/``memory``/``store``).
+
+    ``faults`` activates deterministic fault injection
+    (:mod:`repro.api.faults`): an injector instance, a grammar string, or
+    ``None`` to consult ``$REPRO_FAULTS``.  When active, the injector is
+    shared with the attached store (its read/write/corrupt sites) and the
+    stage computations (delay/error sites); when off — the default — the
+    hot path pays a single ``is None`` check.
     """
 
     STAGES = ("analyze", "refine", "synthesize", "map", "verify", "verify_mapped")
@@ -132,10 +140,14 @@ class Pipeline:
         cache: bool = True,
         store: Union[ArtifactStore, str, os.PathLike, None] = None,
         on_event: Optional[EventCallback] = None,
+        faults: FaultsLike = None,
     ):
         self._cache: Optional[dict] = {} if cache else None
         self.store: Optional[ArtifactStore] = get_store(store)
         self.on_event = on_event
+        self.faults = get_injector(faults)
+        if self.faults is not None and self.store is not None and self.store.faults is None:
+            self.store.faults = self.faults
         #: number of actual stage computations (cache misses), per stage
         self.stage_calls: Counter = Counter()
         #: per-stage on-disk store outcomes (only touched when a store is set)
@@ -187,6 +199,10 @@ class Pipeline:
                     return value
             self.store_misses[stage] += 1
         start = time.perf_counter()
+        if self.faults is not None:
+            # injected latency and/or a retryable InjectedStageError —
+            # nothing is cached for a failed stage, so a retry recomputes
+            self.faults.stage_enter(stage)
         value = compute()
         if self._cache is not None:
             self._cache[key] = value

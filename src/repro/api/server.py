@@ -11,7 +11,10 @@ process-lifetime *and* cross-process durability.
 
 Endpoints (all JSON)::
 
-    GET  /health         liveness, uptime, code version
+    GET  /health         liveness only: uptime, code version (never touches
+                         the store or the pipeline)
+    GET  /ready          readiness: probes the artifact store and reports
+                         queue depth; 503 when the store is unreachable
     GET  /benchmarks     registered benchmark names
     GET  /cache/stats    pipeline counters + store statistics
     POST /cache/clear    drop the in-memory cache (``{"disk": true}`` also
@@ -28,8 +31,22 @@ on (a repeated request must resolve without computation).
 
 Requests are serialized through one lock: correctness first (the pipeline's
 memo dict is not concurrency-safe), and the workload is cache-dominated —
-the durable store, not request parallelism, is the scaling story of this
-PR.  Use :class:`repro.api.client.Client` to talk to the server from
+the durable store, not request parallelism, is the scaling story of the
+serving layer.  Overload is handled by *shedding*, not queueing without
+bound: at most ``max_queue`` requests may hold or wait for the service lock;
+the next one is rejected immediately with ``503`` and a ``Retry-After``
+header.  An admitted request waits at most ``request_timeout`` seconds for
+the lock before it is shed with ``504 deadline_exceeded`` — a slow giant
+synthesis can delay later requests, but never strand them silently.
+
+Every error response carries a structured, stable body::
+
+    {"error": {"code": "spec_error", "message": "...", "retryable": false}}
+
+``code`` is machine-dispatchable (clients retry on ``retryable`` alone),
+``message`` is human-readable; server-side tracebacks are logged to stderr
+and never leak into a response.  Use :class:`repro.api.client.Client` —
+which retries retryable responses with backoff — to talk to the server from
 Python.
 """
 
@@ -45,7 +62,7 @@ from repro.api.backends import compare
 from repro.api.events import fanout
 from repro.api.pipeline import Pipeline
 from repro.api.spec import Spec, SpecError
-from repro.api.store import get_store
+from repro.api.store import TMP_SWEEP_AGE, get_store
 from repro.gates.exporters import EXPORT_FORMATS, export_netlist
 from repro.gates.ir import NetlistError
 from repro.petri.reachability import StateSpaceLimitExceeded
@@ -66,6 +83,45 @@ _CLIENT_ERRORS = (
     ValueError,
 )
 
+#: stable machine-readable codes for the 400 family (first match wins, so
+#: subclasses must precede their bases)
+_CLIENT_ERROR_CODES = (
+    (SpecError, "spec_error"),
+    (StateBasedSynthesisError, "synthesis_error"),
+    (SynthesisError, "synthesis_error"),
+    (NetlistError, "netlist_error"),
+    (StateSpaceLimitExceeded, "state_space_limit"),
+    (ValueError, "bad_request"),
+)
+
+
+def _client_error_code(error: BaseException) -> str:
+    for exc_type, code in _CLIENT_ERROR_CODES:
+        if isinstance(error, exc_type):
+            return code
+    return "bad_request"
+
+
+def _error_body(code: str, message: str, retryable: bool = False) -> dict:
+    """The structured error document every non-2xx response carries."""
+    return {"error": {"code": code, "message": message, "retryable": retryable}}
+
+
+class ServerOverloadedError(RuntimeError):
+    """The admission queue is full; the request was shed, not queued."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestDeadlineError(RuntimeError):
+    """An admitted request waited longer than the per-request deadline."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
 
 def _spec_of(body: dict):
     source = body.get("spec")
@@ -83,6 +139,12 @@ class SynthesisService:
     next request reloads from disk instead of recomputing).  This keeps a
     long-lived daemon fed with a stream of distinct specs from growing
     without bound.
+
+    ``max_queue`` bounds *admission*: at most that many locked requests may
+    be in flight (one running, the rest waiting) before new ones are shed
+    with :class:`ServerOverloadedError`.  ``request_timeout`` bounds how
+    long an admitted request waits for the service lock before it is shed
+    with :class:`RequestDeadlineError` (``None`` waits indefinitely).
     """
 
     def __init__(
@@ -90,12 +152,19 @@ class SynthesisService:
         store=None,
         pipeline: Optional[Pipeline] = None,
         max_cached_artifacts: int = 1024,
+        max_queue: int = 8,
+        request_timeout: Optional[float] = None,
     ):
         if pipeline is None:
             pipeline = Pipeline(store=store)
         self.pipeline = pipeline
         self.max_cached_artifacts = max_cached_artifacts
+        self.max_queue = max_queue
+        self.request_timeout = request_timeout
         self.lock = threading.Lock()
+        self._admission = threading.Lock()  # guards the two counters below
+        self.waiting = 0  # locked requests in flight (running + queued)
+        self.shed = 0  # requests rejected by overload or deadline
         self.started = time.time()
         self.requests = 0
         self.evictions = 0
@@ -228,6 +297,10 @@ class SynthesisService:
         return {"cleared": True, "disk_entries_removed": removed}
 
     def health(self, body: Optional[dict] = None) -> dict:
+        """Liveness: the process answers.  Never touches store or pipeline
+        state beyond reading the attached store's path, so a wedged store
+        (full disk, dead mount) keeps liveness green while :meth:`ready`
+        goes red — the split orchestrators expect."""
         from repro.api.store import CODE_VERSION
 
         return {
@@ -237,6 +310,36 @@ class SynthesisService:
             "code_version": CODE_VERSION,
             "store": str(self.pipeline.store.root) if self.pipeline.store else None,
         }
+
+    def ready(self, body: Optional[dict] = None) -> dict:
+        """Readiness: can this server *usefully* take traffic right now?
+
+        Probes the artifact store (layout creatable and writable) and
+        reports the admission queue.  ``ready: false`` travels as HTTP 503
+        so load balancers drain the instance without killing it.
+        """
+        store = self.pipeline.store
+        store_ok = True
+        reason = None
+        if store is not None:
+            try:
+                store_ok = store.probe()
+            except OSError as error:
+                store_ok = False
+                reason = f"store probe failed: {error}"
+            else:
+                if not store_ok:
+                    reason = f"store root not writable: {store.root}"
+        payload = {
+            "ready": store_ok,
+            "store": str(store.root) if store is not None else None,
+            "waiting": self.waiting,
+            "max_queue": self.max_queue,
+            "shed": self.shed,
+        }
+        if reason is not None:
+            payload["reason"] = reason
+        return payload
 
     def benchmarks(self, body: Optional[dict] = None) -> dict:
         from repro.benchmarks.registry import list_benchmarks
@@ -249,6 +352,7 @@ class SynthesisService:
 
     GET_ROUTES = {
         "/health": "health",
+        "/ready": "ready",
         "/benchmarks": "benchmarks",
         "/cache/stats": "cache_stats",
     }
@@ -261,8 +365,21 @@ class SynthesisService:
         "/cache/stats": "cache_stats",
     }
     #: endpoints that never touch the pipeline's memo state — answered
-    #: without the lock so liveness probes survive a long-running synthesis
-    LOCK_FREE = {"health", "benchmarks"}
+    #: without the lock (and without admission control) so liveness and
+    #: readiness probes survive a long-running synthesis
+    LOCK_FREE = {"health", "ready", "benchmarks"}
+
+    def _admit(self) -> None:
+        """Reserve an admission slot or shed the request immediately."""
+        with self._admission:
+            if self.waiting >= self.max_queue:
+                self.shed += 1
+                raise ServerOverloadedError(
+                    f"server overloaded: {self.waiting} requests in flight "
+                    f"(max_queue={self.max_queue})",
+                    retry_after=max(1.0, self.request_timeout or 1.0),
+                )
+            self.waiting += 1
 
     def dispatch(self, method: str, path: str, body: Optional[dict]):
         routes = self.GET_ROUTES if method == "GET" else self.POST_ROUTES
@@ -272,15 +389,31 @@ class SynthesisService:
         if name in self.LOCK_FREE:
             self.requests += 1
             return getattr(self, name)(body)
-        with self.lock:
-            self.requests += 1
-            self._events = []
-            self._in_request = True
+        self._admit()
+        try:
+            timeout = self.request_timeout if self.request_timeout is not None else -1
+            if not self.lock.acquire(timeout=timeout):
+                with self._admission:
+                    self.shed += 1
+                raise RequestDeadlineError(
+                    f"request waited longer than {self.request_timeout}s "
+                    f"for the service lock",
+                    retry_after=max(1.0, self.request_timeout or 1.0),
+                )
             try:
-                return getattr(self, name)(body)
+                self.requests += 1
+                self._events = []
+                self._in_request = True
+                try:
+                    return getattr(self, name)(body)
+                finally:
+                    self._in_request = False
+                    self._maybe_evict()
             finally:
-                self._in_request = False
-                self._maybe_evict()
+                self.lock.release()
+        finally:
+            with self._admission:
+                self.waiting -= 1
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -295,11 +428,15 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -311,21 +448,57 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 body = json.loads(raw.decode("utf-8") or "{}")
             except json.JSONDecodeError as error:
-                self._send(400, {"error": f"malformed JSON body: {error}"})
+                self._send(
+                    400, _error_body("bad_request", f"malformed JSON body: {error}")
+                )
                 return
             if not isinstance(body, dict):
-                self._send(400, {"error": "request body must be a JSON object"})
+                self._send(
+                    400, _error_body("bad_request", "request body must be a JSON object")
+                )
                 return
         try:
             result = self.service.dispatch(method, self.path, body)
+        except ServerOverloadedError as error:
+            self._send(
+                503,
+                _error_body("overloaded", str(error), retryable=True),
+                headers={"Retry-After": str(int(error.retry_after))},
+            )
+            return
+        except RequestDeadlineError as error:
+            self._send(
+                504,
+                _error_body("deadline_exceeded", str(error), retryable=True),
+                headers={"Retry-After": str(int(error.retry_after))},
+            )
+            return
         except _CLIENT_ERRORS as error:
-            self._send(400, {"error": str(error)})
+            self._send(400, _error_body(_client_error_code(error), str(error)))
             return
         except Exception as error:  # noqa: BLE001 — the daemon must not die
-            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+            # the traceback stays server-side: clients get a stable code and
+            # the exception summary, never internal frames
+            import traceback
+
+            self.log_error(
+                "unhandled %s in %s %s", type(error).__name__, method, self.path
+            )
+            traceback.print_exc()
+            self._send(
+                500,
+                _error_body("internal", f"{type(error).__name__}: {error}"),
+            )
             return
         if result is None:
-            self._send(404, {"error": f"unknown endpoint {method} {self.path}"})
+            self._send(
+                404,
+                _error_body("not_found", f"unknown endpoint {method} {self.path}"),
+            )
+            return
+        if self.path == "/ready" and result.get("ready") is False:
+            # readiness failure travels as 503 so load balancers drain us
+            self._send(503, result, headers={"Retry-After": "5"})
             return
         self._send(200, result)
 
@@ -342,6 +515,8 @@ def create_server(
     store=None,
     pipeline: Optional[Pipeline] = None,
     verbose: bool = False,
+    max_queue: int = 8,
+    request_timeout: Optional[float] = None,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-serve (but not yet serving) HTTP server.
 
@@ -349,7 +524,12 @@ def create_server(
     ``server.server_address[1]``.  The in-process tests and the CI smoke
     job drive the returned server from a background thread.
     """
-    service = SynthesisService(store=store, pipeline=pipeline)
+    service = SynthesisService(
+        store=store,
+        pipeline=pipeline,
+        max_queue=max_queue,
+        request_timeout=request_timeout,
+    )
     handler = type("_BoundHandler", (_Handler,), {"service": service})
     server = ThreadingHTTPServer((host, port), handler)
     server.verbose = verbose
@@ -362,10 +542,30 @@ def run_server(
     port: int = 8765,
     store=None,
     verbose: bool = False,
+    max_queue: int = 8,
+    request_timeout: Optional[float] = None,
 ) -> int:
     """Bind, announce, and serve until interrupted (the CLI's serve loop)."""
     store = get_store(store)  # accept a path like every other entry point
-    server = create_server(host=host, port=port, store=store, verbose=verbose)
+    if store is not None:
+        # startup maintenance: a previous daemon killed mid-write leaves
+        # *.tmp orphans; a crashed writer may have left damage behind
+        swept = store.sweep(tmp_older_than=TMP_SWEEP_AGE)
+        if swept["tmp_removed"] or swept["stale_quarantined"]:
+            print(
+                f"repro serve: store sweep removed {swept['tmp_removed']} orphaned "
+                f"temp file(s), quarantined {swept['stale_quarantined']} stale "
+                f"entr(y/ies)",
+                flush=True,
+            )
+    server = create_server(
+        host=host,
+        port=port,
+        store=store,
+        verbose=verbose,
+        max_queue=max_queue,
+        request_timeout=request_timeout,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(
         f"repro serve: listening on http://{bound_host}:{bound_port} "

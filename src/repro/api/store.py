@@ -22,6 +22,16 @@ Writes are atomic (temp file + ``os.replace``) so concurrent writers —
 process-pool batch workers, server threads — can share a store without
 locking; both sides of a race write byte-identical content.
 
+Crash safety (PR 6): a corrupt entry found on read is *quarantined* — moved
+to ``v1/quarantine/`` next to a ``*.reason.json`` record — instead of being
+silently re-read and re-failed forever; ``stats()`` sweeps orphaned
+``*.tmp`` files a killed writer left between ``mkstemp`` and ``os.replace``;
+``sweep()`` additionally quarantines stale-code-version entries; and
+``fsync=True`` (or ``$REPRO_STORE_FSYNC``) adds a flush-to-platter
+durability mode for stores that must survive power loss, not just process
+death.  Deterministic fault injection (:mod:`repro.api.faults`) hooks the
+read, write and corruption paths so all of this is testable on demand.
+
 The default location is ``~/.cache/repro`` (or ``$REPRO_STORE``); every API
 entry point accepts an explicit path instead.
 """
@@ -33,6 +43,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -47,6 +58,13 @@ LAYOUT_VERSION = 1
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE"
+
+#: Environment variable switching on fsync durability for every store handle.
+FSYNC_ENV_VAR = "REPRO_STORE_FSYNC"
+
+#: Orphaned ``*.tmp`` files older than this many seconds are swept by
+#: ``stats()``; younger ones may belong to a live concurrent writer.
+TMP_SWEEP_AGE = 3600.0
 
 
 def default_store_path() -> Path:
@@ -82,19 +100,39 @@ class ArtifactStore:
     code_version:
         Overrides the code-version stamp (tests use this to pin the
         stale-store behaviour; production code never passes it).
+    fsync:
+        Durability mode: flush entry bytes (and the containing directory)
+        to stable storage before the atomic rename, so a committed write
+        survives power loss.  ``None`` consults ``$REPRO_STORE_FSYNC``.
+    faults:
+        Optional :class:`~repro.api.faults.FaultInjector` driving the
+        ``store.read``/``store.write``/``store.corrupt`` injection points
+        (``None`` — the default — costs one attribute check per call).
     """
 
     def __init__(
         self,
         root: Union[str, os.PathLike, None] = None,
         code_version: str = CODE_VERSION,
+        fsync: Optional[bool] = None,
+        faults=None,
     ):
         self.root = Path(root).expanduser() if root is not None else default_store_path()
         self.code_version = code_version
+        if fsync is None:
+            fsync = bool(os.environ.get(FSYNC_ENV_VAR))
+        self.fsync = fsync
+        self.faults = faults
+        #: age threshold for the orphaned-tempfile sweep in :meth:`stats`
+        self.tmp_sweep_age = TMP_SWEEP_AGE
         #: read/write counters of THIS handle (per-process introspection)
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: corrupt entries this handle moved to ``v1/quarantine/``
+        self.quarantined = 0
+        #: orphaned temp files this handle swept
+        self.tmp_swept = 0
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -108,6 +146,10 @@ class ArtifactStore:
     def path_of(self, digest: str) -> Path:
         return self.root / f"v{LAYOUT_VERSION}" / digest[:2] / f"{digest}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / f"v{LAYOUT_VERSION}" / "quarantine"
+
     # ------------------------------------------------------------------ #
     # Read / write
     # ------------------------------------------------------------------ #
@@ -115,14 +157,22 @@ class ArtifactStore:
     def get(self, key: object) -> Optional[dict]:
         """The artifact document stored under ``key``, or ``None``.
 
-        Corrupted files and entries written by a different code version are
-        misses, not errors.
+        Corrupted files are *quarantined* (moved to ``v1/quarantine/`` with
+        a reason record) and read as misses — never as errors, and never
+        re-read and re-failed forever.  Injected or real read IO errors are
+        plain misses (the file, if any, is left alone).
         """
         path = self.path_of(self.digest_of(key))
         try:
+            if self.faults is not None:
+                self.faults.raise_io("store.read")
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError:
+            self.quarantine(path, "undecodable JSON")
+            self.misses += 1
+            return None
+        except OSError:
             self.misses += 1
             return None
         if (
@@ -130,10 +180,40 @@ class ArtifactStore:
             or envelope.get("code_version") != self.code_version
             or "artifact" not in envelope
         ):
+            # the digest embeds the code version, so a mismatched envelope
+            # at this path is damage or tampering, not a stale entry
+            self.quarantine(path, "invalid envelope")
             self.misses += 1
             return None
         self.hits += 1
         return envelope["artifact"]
+
+    def quarantine(self, path: Path, reason: str) -> bool:
+        """Move a damaged entry aside with a ``*.reason.json`` record.
+
+        Returns True when the file was moved.  Failures (already gone, an
+        unwritable quarantine directory) are swallowed: quarantine is an
+        improvement over the entry rotting in place, never a new error.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            os.replace(path, target)
+        except OSError:
+            return False
+        self.quarantined += 1
+        record = {
+            "reason": reason,
+            "source": str(path),
+            "detected_at": time.time(),
+            "code_version": self.code_version,
+        }
+        try:
+            reason_path = self.quarantine_dir / (path.stem + ".reason.json")
+            reason_path.write_text(json.dumps(record, indent=2), encoding="utf-8")
+        except OSError:
+            pass
+        return True
 
     def put(
         self,
@@ -143,7 +223,12 @@ class ArtifactStore:
         spec_name: str = "",
         spec_hash: str = "",
     ) -> Path:
-        """Atomically persist an artifact document under ``key``."""
+        """Atomically persist an artifact document under ``key``.
+
+        With ``fsync`` enabled the entry bytes and the containing directory
+        are flushed to stable storage around the rename, upgrading the
+        atomicity guarantee from crash-safe to power-loss-safe.
+        """
         digest = self.digest_of(key)
         path = self.path_of(digest)
         envelope = {
@@ -155,13 +240,24 @@ class ArtifactStore:
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(envelope, separators=(",", ":"))
+        if self.faults is not None:
+            self.faults.raise_io("store.write", stage or None)
+            if self.faults.corrupts_write(stage or None):
+                # land a genuinely truncated entry on disk: the read side's
+                # quarantine path is what the injection is meant to exercise
+                text = text[: max(1, len(text) // 2)]
         fd, temp_name = tempfile.mkstemp(
             prefix=f".{digest[:12]}-", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(temp_name, path)
+            if self.fsync:
+                self._fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -170,6 +266,20 @@ class ArtifactStore:
             raise
         self.writes += 1
         return path
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a directory entry (rename durability); best effort."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------ #
     # Maintenance / introspection
@@ -180,9 +290,21 @@ class ArtifactStore:
         if not layout.is_dir():
             return
         for bucket in sorted(layout.iterdir()):
-            if not bucket.is_dir():
+            # entry buckets are the two-hex-digit digest prefixes; the
+            # quarantine directory lives beside them and is not an entry set
+            if not bucket.is_dir() or len(bucket.name) != 2:
                 continue
             for path in sorted(bucket.glob("*.json")):
+                yield path
+
+    def _tmp_paths(self):
+        layout = self.root / f"v{LAYOUT_VERSION}"
+        if not layout.is_dir():
+            return
+        for bucket in sorted(layout.iterdir()):
+            if not bucket.is_dir() or len(bucket.name) != 2:
+                continue
+            for path in sorted(bucket.glob("*.tmp")):
                 yield path
 
     def entries(self) -> list[dict]:
@@ -200,7 +322,12 @@ class ArtifactStore:
         return result
 
     def stats(self) -> dict:
-        """Entry/byte totals on disk plus this handle's hit/miss counters."""
+        """Entry/byte totals on disk plus this handle's hit/miss counters.
+
+        Also sweeps orphaned ``*.tmp`` files older than ``tmp_sweep_age``
+        (a writer killed between ``mkstemp`` and ``os.replace`` leaves one
+        behind; a younger file may belong to a live concurrent writer).
+        """
         files = 0
         size = 0
         stale = 0
@@ -219,6 +346,17 @@ class ArtifactStore:
                 continue
             stage = envelope.get("stage") or "unknown"
             stages[stage] = stages.get(stage, 0) + 1
+        tmp_files = 0
+        tmp_removed = self._sweep_tmp(self.tmp_sweep_age)
+        for _ in self._tmp_paths():
+            tmp_files += 1
+        quarantined = 0
+        if self.quarantine_dir.is_dir():
+            quarantined = sum(
+                1
+                for path in self.quarantine_dir.glob("*.json")
+                if not path.name.endswith(".reason.json")
+            )
         return {
             "root": str(self.root),
             "code_version": self.code_version,
@@ -226,12 +364,72 @@ class ArtifactStore:
             "stale_entries": stale,
             "bytes": size,
             "per_stage": dict(sorted(stages.items())),
+            "tmp_files": tmp_files,
+            "tmp_swept": tmp_removed,
+            "quarantined_entries": quarantined,
             "session": {
                 "hits": self.hits,
                 "misses": self.misses,
                 "writes": self.writes,
+                "quarantined": self.quarantined,
+                "tmp_swept": self.tmp_swept,
             },
         }
+
+    def _sweep_tmp(self, older_than: float) -> int:
+        """Remove orphaned temp files older than ``older_than`` seconds."""
+        removed = 0
+        now = time.time()
+        for path in list(self._tmp_paths()):
+            try:
+                if now - path.stat().st_mtime < older_than:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self.tmp_swept += removed
+        return removed
+
+    def sweep(self, tmp_older_than: float = 0.0) -> dict:
+        """Full maintenance pass: orphaned temp files and stale entries.
+
+        Removes every ``*.tmp`` orphan older than ``tmp_older_than``
+        seconds (default: all of them — callers invoke ``sweep`` when no
+        writer is live) and quarantines entries stamped by a different code
+        version (they can never be read again: the digest embeds the
+        stamp).  Returns the counts.
+        """
+        tmp_removed = self._sweep_tmp(tmp_older_than)
+        stale_quarantined = 0
+        for path in list(self._entry_paths()):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except json.JSONDecodeError:
+                if self.quarantine(path, "undecodable JSON"):
+                    stale_quarantined += 1
+                continue
+            except OSError:
+                continue
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("code_version") != self.code_version
+            ):
+                if self.quarantine(path, "stale code version"):
+                    stale_quarantined += 1
+        return {"tmp_removed": tmp_removed, "stale_quarantined": stale_quarantined}
+
+    def probe(self) -> bool:
+        """Readiness check: the layout directory exists (or can) and is
+        writable.  Never raises — the serve daemon's ``/ready`` leans on it.
+        """
+        layout = self.root / f"v{LAYOUT_VERSION}"
+        try:
+            layout.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        return os.access(layout, os.W_OK | os.X_OK)
 
     def clear(self, spec_pattern: Optional[str] = None) -> int:
         """Remove entries; returns the number of files deleted.
@@ -271,6 +469,14 @@ class ArtifactStore:
                                 removed += 1
                             except OSError:
                                 pass
+            if self.quarantine_dir.is_dir():
+                for path in self.quarantine_dir.iterdir():
+                    try:
+                        path.unlink()
+                        if not path.name.endswith(".reason.json"):
+                            removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def __repr__(self) -> str:
