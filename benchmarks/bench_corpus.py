@@ -1,0 +1,191 @@
+"""Corpus & fuzzing-farm throughput plus the k-bounded packed kernel.
+
+PR 7's three performance claims, measured on one machine:
+
+* **generation throughput** — seeded compositional specs per second
+  through the idiom/mutation generator including the validity filter
+  (every candidate is explored, classified and hash-stabilized);
+* **campaign throughput** — full differential check suites per second,
+  sequential vs. fanned out over the process-pool scheduler;
+* **k-bounded packed kernel** — reachability on unsafe (multi-token)
+  nets: the SWAR k-bit field encoding of ``CompiledBoundedNet`` against
+  the dict-based ``_reference_build_reachability_graph`` multiset BFS
+  that used to be the *only* path for such nets.
+
+The rows land in ``BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.corpus.campaign import CampaignConfig, run_campaign
+from repro.corpus.generator import GeneratorConfig, generate_corpus
+from repro.corpus.idioms import build_idiom
+from repro.petri.reachability import (
+    _reference_build_reachability_graph,
+    build_reachability_graph,
+)
+from repro.stg.stg import STG
+
+GEN_CONFIG = GeneratorConfig(max_markings=600)
+
+
+def _k_bounded_net(cells: int, credit: int):
+    """A handshake array whose credit pools force the k-bounded kernel."""
+    merged = STG("kbench")
+    for index in range(cells):
+        component = build_idiom("credit_handshake", f"c{index}_", {"credit": credit})
+        for signal, signal_type in component.signals.items():
+            merged.add_signal(signal, signal_type)
+        for transition in component.transitions:
+            merged.add_transition(transition)
+        for place in component.places:
+            merged.net.add_place(place)
+            for target in component.net.postset(place):
+                merged.net.add_arc(place, target)
+            for source in component.net.preset(place):
+                merged.net.add_arc(source, place)
+        for place, count in component.initial_marking.items():
+            merged.net.set_initial_tokens(place, count)
+    return merged.net
+
+
+def test_corpus_generation_throughput(benchmark, perf_record, print_table):
+    count = 150
+
+    def generate():
+        return list(generate_corpus(count, seed=42, config=GEN_CONFIG))
+
+    corpus = benchmark.pedantic(generate, iterations=1, rounds=1)
+    start = time.perf_counter()
+    generate()
+    seconds = time.perf_counter() - start
+
+    by_class: dict = {}
+    for corpus_spec in corpus:
+        by_class[corpus_spec.klass] = by_class.get(corpus_spec.klass, 0) + 1
+    consistent = sum(cs.consistent for cs in corpus)
+
+    # --- campaign: the same specs through the full differential suite ---- #
+    start = time.perf_counter()
+    sequential = run_campaign(
+        CampaignConfig(count=count, seed=42, jobs=0, max_markings=600, shrink=False)
+    )
+    sequential_seconds = time.perf_counter() - start
+    assert sequential.ok, [f.to_dict() for f in sequential.findings]
+
+    start = time.perf_counter()
+    pooled = run_campaign(
+        CampaignConfig(count=count, seed=42, jobs=4, max_markings=600, shrink=False)
+    )
+    pooled_seconds = time.perf_counter() - start
+    assert pooled.digest == sequential.digest
+
+    rows = [
+        {
+            "stage": "generate (idioms + mutations + validity filter)",
+            "seconds": round(seconds, 3),
+            "specs_per_s": round(count / seconds, 1),
+        },
+        {
+            "stage": "campaign, sequential (full differential suite)",
+            "seconds": round(sequential_seconds, 3),
+            "specs_per_s": round(count / sequential_seconds, 1),
+        },
+        {
+            "stage": "campaign, pool scheduler (4 workers)",
+            "seconds": round(pooled_seconds, 3),
+            "specs_per_s": round(count / pooled_seconds, 1),
+        },
+    ]
+    print_table(rows, title=f"Corpus & fuzzing farm — {count}-spec campaign")
+    perf_record["results"]["corpus"] = {
+        "specs": count,
+        "by_class": dict(sorted(by_class.items())),
+        "consistent": consistent,
+        "generate_s": round(seconds, 4),
+        "generate_specs_per_s": round(count / seconds, 2),
+        "campaign_sequential_s": round(sequential_seconds, 4),
+        "campaign_sequential_specs_per_s": round(count / sequential_seconds, 2),
+        "campaign_pool_s": round(pooled_seconds, 4),
+        "campaign_pool_specs_per_s": round(count / pooled_seconds, 2),
+        "campaign_pool_speedup": round(sequential_seconds / pooled_seconds, 2)
+        if pooled_seconds
+        else None,
+        "digest": sequential.digest,
+    }
+
+
+def test_bounded_kernel_vs_reference(benchmark, perf_record, print_table):
+    """Packed k-bounded exploration vs. the dict-based multiset BFS."""
+    cases = [
+        ("credit_cells_4x3", _k_bounded_net(4, 3)),
+        ("credit_cells_5x3", _k_bounded_net(5, 3)),
+        ("credit_cells_6x2", _k_bounded_net(6, 2)),
+    ]
+    rows = []
+    record: dict = {}
+    for name, net in cases:
+        start = net.initial_marking
+
+        def packed(net=net):
+            return build_reachability_graph(net)
+
+        def reference(net=net, start=start):
+            return _reference_build_reachability_graph(net, start)
+
+        graph = packed()
+        assert graph._compiled is not None, "must run on the packed kernel"
+        states = len(graph)
+
+        start_time = time.perf_counter()
+        packed()
+        packed_seconds = time.perf_counter() - start_time
+
+        start_time = time.perf_counter()
+        reference_graph = reference()
+        reference_seconds = time.perf_counter() - start_time
+        assert len(reference_graph) == states
+
+        rows.append(
+            {
+                "case": name,
+                "states": states,
+                "packed_s": round(packed_seconds, 4),
+                "reference_s": round(reference_seconds, 4),
+                "speedup": round(reference_seconds / packed_seconds, 1)
+                if packed_seconds
+                else None,
+            }
+        )
+        record[name] = {
+            "states": states,
+            "packed_s": round(packed_seconds, 5),
+            "reference_s": round(reference_seconds, 5),
+            "speedup": round(reference_seconds / packed_seconds, 2)
+            if packed_seconds
+            else None,
+        }
+
+    benchmark.pedantic(
+        lambda: build_reachability_graph(cases[0][1]), iterations=1, rounds=3
+    )
+    print_table(rows, title="k-bounded reachability — packed kernel vs. reference")
+    perf_record["results"]["bounded_kernel"] = record
+
+
+def test_corpus_smoke(benchmark):
+    """CI smoke case: a tiny campaign must stay clean and deterministic."""
+
+    def campaign():
+        report = run_campaign(
+            CampaignConfig(
+                count=5, seed=7, jobs=0, max_markings=300, shrink=False
+            )
+        )
+        assert report.ok
+        return report.digest
+
+    first = benchmark.pedantic(campaign, iterations=1, rounds=1)
+    assert campaign() == first

@@ -7,13 +7,14 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR5.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR7.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
 recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
 unified API; PR3 gate-netlist construction and gate-level differential
 verification; PR4 the compiled state-based engine and bit-parallel mapped
 verification; PR5 the durable-workspace batch throughput from
-``bench_store.py``: cold store vs. warm store vs. warm server).
+``bench_store.py``; PR7 the corpus generator / fuzzing-farm throughput and
+the k-bounded packed reachability kernel from ``bench_corpus.py``).
 """
 
 from __future__ import annotations
@@ -78,19 +79,20 @@ _REQUIRED_SECTIONS = (
     "mapping",
     "statebased",
     "store",
+    "corpus",
+    "bounded_kernel",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR5.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR7.json on teardown."""
     record: dict = {
-        "pr": 5,
+        "pr": 7,
         "kernel": (
-            "durable workspace: lossless artifact JSON, content-addressed "
-            "on-disk store backing the pipeline cache, process-pool "
-            "scheduler, and the repro-serve HTTP daemon, all on the "
-            "compiled PR4 engine"
+            "repro.corpus: seeded compositional STG generation, the "
+            "scheduler-driven differential fuzzing farm, and first-class "
+            "packed reachability for k-bounded (unsafe) nets"
         ),
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -149,4 +151,21 @@ def perf_record(request):
             "warm_specs_per_s": store_results.get("warm_specs_per_s"),
             "server_specs_per_s": store_results.get("server_specs_per_s"),
         }
-    write_perf_record(repo_root / "BENCH_PR5.json", record)
+    corpus_results = record["results"].get("corpus", {})
+    if corpus_results:
+        record["corpus_throughput"] = {
+            "generate_specs_per_s": corpus_results.get("generate_specs_per_s"),
+            "campaign_sequential_specs_per_s": corpus_results.get(
+                "campaign_sequential_specs_per_s"
+            ),
+            "campaign_pool_specs_per_s": corpus_results.get(
+                "campaign_pool_specs_per_s"
+            ),
+            "campaign_pool_speedup": corpus_results.get("campaign_pool_speedup"),
+        }
+    bounded = record["results"].get("bounded_kernel", {})
+    if bounded:
+        record["bounded_kernel_speedup_vs_reference"] = {
+            name: data.get("speedup") for name, data in bounded.items()
+        }
+    write_perf_record(repo_root / "BENCH_PR7.json", record)

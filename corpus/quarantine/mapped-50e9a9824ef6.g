@@ -1,0 +1,11 @@
+.model min_mapped
+.inputs u_r
+.outputs u_a
+.graph
+u_a+ u_r-
+u_a- u_r+
+u_r+ u_a+
+u_r- u_a-
+.marking { <u_a-,u_r+> }
+.initial u_a=0 u_r=0
+.end

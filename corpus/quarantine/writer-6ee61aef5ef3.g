@@ -1,0 +1,12 @@
+.model twin_place
+.inputs r
+.outputs a
+.graph
+a+ r-
+a- <a-,r+> pool
+r+ a+
+r- a-
+<a-,r+> r+
+pool r+
+.marking { <a-,r+> pool=3 }
+.end

@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import fnmatch
 import json
+import os
 import sys
 from typing import Optional
 
@@ -271,7 +272,85 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_store_location(serve)
 
-    sub.add_parser("list", help="list registered benchmarks")
+    fuzz = sub.add_parser(
+        "fuzz", help="generate corpus STGs and run the differential fuzzing farm"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded differential campaign over generated specs"
+    )
+    fuzz_run.add_argument("--count", type=int, default=100, help="specs to generate")
+    fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="scheduler fan-out (0/1 sequential, n>1 pool, -1 cpu count)",
+    )
+    fuzz_run.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="seconds; stops generating new specs past the budget",
+    )
+    fuzz_run.add_argument(
+        "--max-markings",
+        type=int,
+        default=600,
+        help="state-space bound per spec (exploding candidates are discarded)",
+    )
+    fuzz_run.add_argument(
+        "--quarantine",
+        default=None,
+        help="directory for minimal counterexamples "
+        "(default: $REPRO_CORPUS_QUARANTINE or corpus/quarantine)",
+    )
+    fuzz_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="file failing specs as-is instead of delta-debugging them",
+    )
+    fuzz_run.add_argument(
+        "--faults",
+        default=None,
+        help="fault spec (repro.api.faults grammar), e.g. 'seed=3;corpus.flip=0.5'",
+    )
+    fuzz_run.add_argument(
+        "--progress", action="store_true", help="print per-spec progress events"
+    )
+    fuzz_run.add_argument("--json", action="store_true")
+
+    fuzz_gen = fuzz_sub.add_parser(
+        "gen", help="generate corpus specs without checking them"
+    )
+    fuzz_gen.add_argument("--count", type=int, default=10)
+    fuzz_gen.add_argument("--seed", type=int, default=0)
+    fuzz_gen.add_argument(
+        "--max-markings", type=int, default=600, help="validity-filter bound"
+    )
+    fuzz_gen.add_argument(
+        "-o", "--out", default=None, help="directory to write the .g files into"
+    )
+    fuzz_gen.add_argument("--json", action="store_true")
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="replay quarantined counterexamples against expectations"
+    )
+    fuzz_replay.add_argument(
+        "--quarantine",
+        default=None,
+        help="directory to replay (default: $REPRO_CORPUS_QUARANTINE or corpus/quarantine)",
+    )
+    fuzz_replay.add_argument("--max-markings", type=int, default=None)
+    fuzz_replay.add_argument("--json", action="store_true")
+
+    list_parser = sub.add_parser("list", help="list registered benchmarks")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit name, signals, transitions, places and safety class as JSON",
+    )
 
     return parser
 
@@ -553,9 +632,119 @@ def _cmd_serve(args) -> int:
 def _cmd_list(args) -> int:
     from repro.benchmarks.registry import list_benchmarks
 
+    if not getattr(args, "json", False):
+        for name in list_benchmarks():
+            print(name)
+        return 0
+    rows = []
     for name in list_benchmarks():
-        print(name)
+        stg = Spec.from_benchmark(name).stg
+        marking = stg.initial_marking
+        safe = all(marking.tokens(place) <= 1 for place in marking)
+        rows.append(
+            {
+                "name": name,
+                "signals": len(stg.signal_names),
+                "transitions": len(stg.transitions),
+                "places": len(stg.places),
+                "class": "safe" if safe else "k-bounded",
+            }
+        )
+    print(json.dumps(rows, indent=2))
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.corpus.campaign import CampaignConfig, run_campaign
+    from repro.corpus.generator import GeneratorConfig, generate_corpus
+    from repro.corpus.quarantine import CorpusQuarantine
+
+    if args.fuzz_command == "run":
+        config = CampaignConfig(
+            count=args.count,
+            seed=args.seed,
+            jobs=args.jobs,
+            max_markings=args.max_markings,
+            time_budget=args.time_budget,
+            faults=args.faults,
+            quarantine=CorpusQuarantine(args.quarantine),
+            shrink=not args.no_shrink,
+        )
+        on_event = progress_printer() if args.progress else None
+        report = run_campaign(config, on_event=on_event)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            classes = ", ".join(
+                f"{count} {klass}" for klass, count in sorted(report.by_class.items())
+            )
+            print(
+                f"campaign seed={report.seed}: {report.checked}/{report.requested} "
+                f"specs checked ({classes}; {report.consistent} consistent, "
+                f"{report.synthesized} synthesized) in {report.total_seconds:.1f}s "
+                f"({report.specs_per_second:.1f} specs/s), digest {report.digest}"
+            )
+            if report.budget_exhausted:
+                print("time budget exhausted before the full count was generated")
+            for finding in report.findings:
+                tag = " [injected]" if finding.injected else ""
+                where = f" -> {finding.quarantined}" if finding.quarantined else ""
+                print(
+                    f"FAIL {finding.spec_name} {finding.check}{tag}: "
+                    f"{finding.detail}{where}"
+                )
+            if report.ok:
+                print("no mismatches")
+        return 0 if report.ok else 1
+
+    if args.fuzz_command == "gen":
+        from repro.stg.writer import write_g
+
+        generator_config = GeneratorConfig(max_markings=args.max_markings)
+        rows = []
+        for corpus_spec in generate_corpus(args.count, args.seed, generator_config):
+            summary = corpus_spec.summary()
+            rows.append(summary)
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, f"{corpus_spec.spec.name}.g")
+                write_g(corpus_spec.spec.stg, path)
+                summary["path"] = path
+            if not args.json:
+                print(
+                    f"{summary['name']}: {summary['states']} states, "
+                    f"{summary['class']}, consistent={summary['consistent']}, "
+                    f"live={summary['live']}"
+                )
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        return 0
+
+    # replay
+    quarantine = CorpusQuarantine(args.quarantine)
+    results = list(quarantine.replay(max_markings=args.max_markings))
+    bad = [r for r in results if not r.ok]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "entry": r.entry.name,
+                        "expected": r.expected,
+                        "observed": r.observed,
+                        "ok": r.ok,
+                    }
+                    for r in results
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for r in results:
+            verdict = "ok" if r.ok else "UNEXPECTED"
+            print(f"{r.entry.name}: expected {r.expected}, observed {r.observed} [{verdict}]")
+        print(f"{len(results) - len(bad)}/{len(results)} entries behave as recorded")
+    return 1 if bad else 0
 
 
 _COMMANDS = {
@@ -567,6 +756,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "list": _cmd_list,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -77,6 +77,10 @@ FAULT_SITES = (
     "stage.error",
     "stage.delay",
     "worker.kill",
+    # corpus.flip: the differential check suite corrupts the mapped netlist
+    # (one SOP term polarity) before verification — a *planted* regression
+    # the fuzzing farm must catch, shrink and quarantine.
+    "corpus.flip",
 )
 
 

@@ -132,6 +132,15 @@ class Job:
     max_markings: Optional[int] = None
     #: per-job deadline in seconds (pool mode; overrides the scheduler's)
     timeout: Optional[float] = None
+    #: dotted ``module:function`` run *instead of* ``Pipeline.run`` — the
+    #: hook custom farms (e.g. the corpus differential campaign) use to run
+    #: their own per-spec work through the scheduler's retry/timeout/pool
+    #: machinery.  The function receives ``(job, pipeline, faults)`` and
+    #: returns a picklable report; ``total_seconds``/``event_detail`` on the
+    #: report feed the ``done`` event when present.
+    runner: Optional[str] = None
+    #: plain-data options for the runner (must be picklable)
+    payload: dict = field(default_factory=dict)
 
     @classmethod
     def make(cls, spec: SpecLike, options: Optional[SynthesisOptions] = None, **kwargs) -> "Job":
@@ -184,6 +193,41 @@ def _strip_report(report: Report) -> Report:
     return report
 
 
+_RUNNERS: dict = {}  # dotted-name -> callable (per-process cache)
+
+
+def _resolve_runner(path: Optional[str]):
+    """Resolve a ``module:function`` runner reference (cached per process)."""
+    if path is None:
+        return None
+    runner = _RUNNERS.get(path)
+    if runner is None:
+        import importlib
+
+        module_name, _, attr = path.partition(":")
+        if not module_name or not attr:
+            raise ValueError(f"malformed runner reference {path!r} (expected module:function)")
+        runner = getattr(importlib.import_module(module_name), attr)
+        _RUNNERS[path] = runner
+    return runner
+
+
+def _done_fields(report) -> dict:
+    """``seconds``/``detail`` for the ``done`` event, for any report shape."""
+    fields: dict = {}
+    seconds = getattr(report, "total_seconds", None)
+    if seconds is not None:
+        fields["seconds"] = seconds
+    detail = getattr(report, "event_detail", None)
+    if callable(detail):
+        fields["detail"] = detail()
+    else:
+        literals = getattr(report, "literals", None)
+        if literals is not None:
+            fields["detail"] = f"{literals} literals"
+    return fields
+
+
 def _execute_job(
     job: Job,
     store_spec: Optional[tuple[str, str]],
@@ -217,6 +261,9 @@ def _execute_job(
     if store_spec is not None:
         store = ArtifactStore(store_spec[0], code_version=store_spec[1], faults=injector)
     pipeline = Pipeline(store=store, faults=injector)
+    runner = _resolve_runner(job.runner)
+    if runner is not None:
+        return runner(job, pipeline, injector)
     report = pipeline.run(
         job.spec,
         job.options,
@@ -351,16 +398,20 @@ class Scheduler:
             while True:
                 attempts += 1
                 try:
-                    report = pipeline.run(
-                        job.spec,
-                        job.options,
-                        backend=job.backend,
-                        map_technology=job.map_technology,
-                        verify=job.verify,
-                        verify_mapped=job.verify_mapped,
-                        library=job.library,
-                        max_markings=job.max_markings,
-                    )
+                    runner = _resolve_runner(job.runner)
+                    if runner is not None:
+                        report = runner(job, pipeline, self.faults)
+                    else:
+                        report = pipeline.run(
+                            job.spec,
+                            job.options,
+                            backend=job.backend,
+                            map_technology=job.map_technology,
+                            verify=job.verify,
+                            verify_mapped=job.verify_mapped,
+                            library=job.library,
+                            max_markings=job.max_markings,
+                        )
                 except Exception as error:
                     if attempts < policy.max_attempts and policy.is_retryable(error):
                         delay = policy.delay_for(attempts, key=job.spec.content_hash)
@@ -386,9 +437,8 @@ class Scheduler:
                     break
                 self._emit(
                     job, index, total, "done",
-                    seconds=report.total_seconds,
-                    detail=f"{report.literals} literals",
                     attempt=attempts,
+                    **_done_fields(report),
                 )
                 yield JobResult(
                     index=index, job=job, report=report,
@@ -522,9 +572,8 @@ class Scheduler:
                     return settle_failure(index, error)
                 self._emit(
                     job, index, total, "done",
-                    seconds=report.total_seconds,
-                    detail=f"{report.literals} literals",
                     attempt=attempts[index],
+                    **_done_fields(report),
                 )
                 return make_result(index, report=report)
             finally:
@@ -584,9 +633,8 @@ class Scheduler:
                         report = future.result()
                         self._emit(
                             jobs[index], index, total, "done",
-                            seconds=report.total_seconds,
-                            detail=f"{report.literals} literals",
                             attempt=attempts[index],
+                            **_done_fields(report),
                         )
                         yield make_result(index, report=report)
                         continue

@@ -1,0 +1,48 @@
+"""repro.corpus — compositional STG generation and differential fuzzing.
+
+The scenario-diversity engine of the repository: a seeded generator that
+composes the paper's idioms (Muller pipeline stages, arbiters, mutex
+elements, selectors, handshake chains) into randomized STGs, a differential
+check suite that runs every backend against the dict-based reference
+oracles per spec, a greedy shrinker that reduces failures to minimal
+counterexample STGs, and a scheduler-driven campaign runner behind
+``repro fuzz run``.  Counterexamples land in ``corpus/quarantine/`` and are
+replayed by the tier-1 suite.
+"""
+
+from repro.corpus.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.corpus.checks import CheckFailure, CheckReport, run_check_suite
+from repro.corpus.generator import (
+    CorpusSpec,
+    GeneratorConfig,
+    build_from_recipe,
+    classify_stg,
+    generate_corpus,
+    generate_spec,
+    random_stg,
+)
+from repro.corpus.idioms import IDIOMS, build_idiom
+from repro.corpus.quarantine import CorpusQuarantine, QuarantineEntry
+from repro.corpus.shrink import shrink_recipe, shrink_stg
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CheckFailure",
+    "CheckReport",
+    "CorpusQuarantine",
+    "CorpusSpec",
+    "GeneratorConfig",
+    "IDIOMS",
+    "QuarantineEntry",
+    "build_from_recipe",
+    "build_idiom",
+    "classify_stg",
+    "generate_corpus",
+    "generate_spec",
+    "random_stg",
+    "run_campaign",
+    "run_check_suite",
+    "shrink_recipe",
+    "shrink_stg",
+]

@@ -1,0 +1,284 @@
+"""The fuzzing-farm campaign runner behind ``repro fuzz run``.
+
+One campaign = generate ``count`` seeded corpus specs, fan their
+differential check suites out over the :class:`~repro.api.scheduler.Scheduler`
+(sequential or process pool — results are identical by construction),
+then shrink every failure to a minimal counterexample STG and file it in
+the :class:`~repro.corpus.quarantine.CorpusQuarantine`.
+
+Determinism contract: the campaign ``digest`` — a hash over the generated
+spec hashes and the (spec, check, injected) failure triples — is a pure
+function of ``(count, seed, faults)``.  Worker count, scheduling order and
+wall clock never enter it, which is what makes "zero unexplained
+mismatches over a 1000-spec campaign" a *reproducible* claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.api.faults import FaultInjector, get_injector
+from repro.api.scheduler import Job, Scheduler
+from repro.api.spec import Spec
+from repro.corpus.checks import run_check_suite
+from repro.corpus.generator import (
+    CorpusSpec,
+    GeneratorConfig,
+    build_from_recipe,
+    generate_spec,
+)
+from repro.corpus.quarantine import CorpusQuarantine
+from repro.corpus.shrink import shrink_recipe, shrink_stg
+from repro.synthesis.engine import SynthesisOptions
+
+#: dotted path the scheduler resolves on both sides of the pool boundary
+CHECK_RUNNER = "repro.corpus.checks:run_corpus_job"
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one fuzzing campaign."""
+
+    count: int = 100
+    seed: int = 0
+    jobs: int = 0  # scheduler fan-out; <=1 sequential, n>1 pool, <0 cpu count
+    max_markings: int = 600
+    time_budget: Optional[float] = None  # seconds; bounds *generation*
+    faults: Union[FaultInjector, str, None] = None
+    quarantine: Union[CorpusQuarantine, str, None] = None
+    shrink: bool = True
+    store: object = None  # optional ArtifactStore (instance or path)
+    generator: Optional[GeneratorConfig] = None
+
+
+@dataclass
+class CampaignFinding:
+    """One confirmed failure, after shrinking and quarantining."""
+
+    spec_name: str
+    spec_hash: str
+    check: str
+    detail: str
+    injected: bool
+    quarantined: Optional[str] = None  # path of the filed minimal .g
+    minimal_hash: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "spec_hash": self.spec_hash,
+            "check": self.check,
+            "detail": self.detail,
+            "injected": self.injected,
+            "quarantined": self.quarantined,
+            "minimal_hash": self.minimal_hash,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign (JSON-able via :meth:`to_dict`)."""
+
+    requested: int
+    seed: int
+    generated: int = 0
+    checked: int = 0
+    by_class: dict = field(default_factory=dict)
+    consistent: int = 0
+    synthesized: int = 0
+    findings: list = field(default_factory=list)
+    budget_exhausted: bool = False
+    total_seconds: float = 0.0
+    generation_seconds: float = 0.0
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def specs_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.checked / self.total_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "seed": self.seed,
+            "generated": self.generated,
+            "checked": self.checked,
+            "by_class": dict(sorted(self.by_class.items())),
+            "consistent": self.consistent,
+            "synthesized": self.synthesized,
+            "findings": [f.to_dict() for f in self.findings],
+            "budget_exhausted": self.budget_exhausted,
+            "total_seconds": round(self.total_seconds, 3),
+            "generation_seconds": round(self.generation_seconds, 3),
+            "specs_per_second": round(self.specs_per_second, 2),
+            "digest": self.digest,
+            "ok": self.ok,
+        }
+
+
+def _failure_predicate(check: str, force_flip: bool, max_markings: int) -> Callable:
+    """A shrink predicate: does the candidate still fail the same check?"""
+
+    def failing(stg) -> bool:
+        spec = Spec.from_stg(stg, name="shrink")
+        report = run_check_suite(
+            spec, max_markings=max_markings, force_flip=force_flip
+        )
+        return any(f.check == check for f in report.failures)
+
+    return failing
+
+
+def _shrink_and_file(
+    corpus_spec: CorpusSpec,
+    failure,
+    config: CampaignConfig,
+    quarantine: Optional[CorpusQuarantine],
+    injector: Optional[FaultInjector],
+) -> CampaignFinding:
+    """Reduce one failure to a minimal STG and file it (runs in-parent).
+
+    Injected ``corpus.flip`` failures shrink under ``force_flip=True`` —
+    the planted corruption is applied unconditionally, so the reduction is
+    not chasing a moving hash-keyed fault decision.
+    """
+    force_flip = bool(failure.injected)
+    predicate = _failure_predicate(failure.check, force_flip, config.max_markings)
+    minimal = corpus_spec.spec.stg
+    if config.shrink:
+        recipe = shrink_recipe(corpus_spec.recipe, predicate)
+        try:
+            minimal = build_from_recipe(recipe)
+        except (KeyError, ValueError):
+            minimal = corpus_spec.spec.stg
+        minimal = shrink_stg(minimal, predicate)
+        # normalize the model name so identical minimal counterexamples from
+        # different campaign specs hash identically and dedupe on filing
+        minimal = minimal.copy(name=f"min_{failure.check}")
+    finding = CampaignFinding(
+        spec_name=corpus_spec.spec.name,
+        spec_hash=corpus_spec.spec.content_hash,
+        check=failure.check,
+        detail=failure.detail,
+        injected=failure.injected,
+    )
+    if quarantine is not None:
+        minimal_spec = Spec.from_stg(minimal, name=corpus_spec.spec.name)
+        reason = {
+            "check": failure.check,
+            "detail": failure.detail,
+            "injected": failure.injected,
+            "expect": "failure",
+            "force_flip": force_flip,
+            "faults": injector.to_text() if (injector and not force_flip) else None,
+            "seed": corpus_spec.seed,
+            "index": corpus_spec.index,
+            "recipe": corpus_spec.recipe,
+            "original_hash": corpus_spec.spec.content_hash,
+            "max_markings": config.max_markings,
+        }
+        path = quarantine.file(minimal, reason)
+        finding.quarantined = str(path)
+        finding.minimal_hash = minimal_spec.content_hash
+    return finding
+
+
+def run_campaign(
+    config: CampaignConfig, on_event: Optional[Callable] = None
+) -> CampaignReport:
+    """Run one full generate → check → shrink → quarantine campaign."""
+    started = time.monotonic()
+    deadline = started + config.time_budget if config.time_budget else None
+    generator_config = config.generator or GeneratorConfig(
+        max_markings=config.max_markings
+    )
+    injector = get_injector(config.faults)
+    quarantine = config.quarantine
+    if isinstance(quarantine, (str, bytes)) or hasattr(quarantine, "__fspath__"):
+        quarantine = CorpusQuarantine(quarantine)
+
+    report = CampaignReport(requested=config.count, seed=config.seed)
+
+    # ---- generate (budget-aware, deterministic by (seed, index))
+    corpus: list[CorpusSpec] = []
+    for index in range(config.count):
+        if deadline is not None and time.monotonic() > deadline:
+            report.budget_exhausted = True
+            break
+        corpus.append(generate_spec(config.seed, index, generator_config))
+    report.generated = len(corpus)
+    report.generation_seconds = time.monotonic() - started
+
+    # ---- check (scheduler fan-out; results keyed by job index)
+    options = SynthesisOptions(assume_csc=True)
+    jobs = [
+        Job(
+            spec=cs.spec,
+            options=options,
+            max_markings=config.max_markings,
+            runner=CHECK_RUNNER,
+            payload={"max_markings": config.max_markings},
+        )
+        for cs in corpus
+    ]
+    scheduler = Scheduler(
+        jobs=config.jobs,
+        store=config.store,
+        on_event=on_event,
+        faults=injector,
+    )
+    reports_by_index: dict[int, object] = {}
+    crashes_by_index: dict[int, BaseException] = {}
+    if jobs:
+        for result in scheduler.iter_results(jobs):
+            if result.report is not None:
+                reports_by_index[result.index] = result.report
+            elif result.error is not None:
+                crashes_by_index[result.index] = result.error
+
+    # ---- tally + shrink + quarantine, in job order (digest stability)
+    digest_material: list = [[cs.spec.content_hash for cs in corpus]]
+    for index, corpus_spec in enumerate(corpus):
+        check_report = reports_by_index.get(index)
+        if check_report is None:
+            error = crashes_by_index.get(index)
+            detail = f"{type(error).__name__}: {error}" if error else "no result"
+            finding = CampaignFinding(
+                spec_name=corpus_spec.spec.name,
+                spec_hash=corpus_spec.spec.content_hash,
+                check="crash",
+                detail=detail[:500],
+                injected=False,
+            )
+            report.findings.append(finding)
+            digest_material.append(
+                [corpus_spec.spec.content_hash, "crash", False]
+            )
+            continue
+        report.checked += 1
+        klass = check_report.klass
+        report.by_class[klass] = report.by_class.get(klass, 0) + 1
+        report.consistent += bool(check_report.consistent)
+        report.synthesized += bool(check_report.synthesized)
+        for failure in check_report.failures:
+            digest_material.append(
+                [corpus_spec.spec.content_hash, failure.check, failure.injected]
+            )
+            report.findings.append(
+                _shrink_and_file(corpus_spec, failure, config, quarantine, injector)
+            )
+
+    report.digest = hashlib.sha256(
+        json.dumps(digest_material, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+    report.total_seconds = time.monotonic() - started
+    return report

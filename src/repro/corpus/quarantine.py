@@ -1,0 +1,144 @@
+"""The corpus quarantine: minimal counterexamples as committed artifacts.
+
+When a campaign confirms a failure, the shrunken STG is *filed* here as a
+canonical ``.g`` file next to a ``.reason.json`` sidecar recording what
+failed, whether the fault was injected, and the recipe/seed that produced
+the original.  The directory is a regression corpus: tier-1 replays every
+entry through the differential check suite and asserts the recorded
+expectation (``"failure"`` — the bug must still reproduce under its
+recorded fault configuration — or ``"pass"`` — a once-broken spec that the
+fix must keep green).
+
+This tier is deliberately *outside* the content-addressed artifact store:
+``ArtifactStore.clear()``/``sweep()`` manage derived, recomputable results,
+while quarantined counterexamples are primary evidence and must survive
+both (see ``tests/test_corpus_quarantine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.api.faults import get_injector
+from repro.api.spec import Spec
+from repro.stg.stg import STG
+from repro.stg.writer import write_g
+
+#: Environment override for the quarantine root (CI points it at a tmpdir).
+QUARANTINE_ENV_VAR = "REPRO_CORPUS_QUARANTINE"
+
+#: Default location, relative to the current working directory.
+DEFAULT_QUARANTINE_DIR = os.path.join("corpus", "quarantine")
+
+
+@dataclass
+class QuarantineEntry:
+    """One filed counterexample: the ``.g`` artifact plus its reason."""
+
+    path: Path
+    reason: dict
+
+    @property
+    def name(self) -> str:
+        return self.path.stem
+
+    @property
+    def spec(self) -> Spec:
+        return Spec.from_file(self.path)
+
+    @property
+    def expect(self) -> str:
+        """``"failure"`` (must still reproduce) or ``"pass"`` (must stay green)."""
+        return self.reason.get("expect", "failure")
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one quarantined entry."""
+
+    entry: QuarantineEntry
+    report: object
+    expected: str
+    observed: str
+
+    @property
+    def ok(self) -> bool:
+        return self.expected == self.observed
+
+
+class CorpusQuarantine:
+    """A directory of minimal counterexample STGs with reason sidecars."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None):
+        if root is None:
+            root = os.environ.get(QUARANTINE_ENV_VAR) or DEFAULT_QUARANTINE_DIR
+        self.root = Path(root)
+
+    def file(self, stg: STG, reason: dict) -> Path:
+        """File a counterexample; returns the path of the ``.g`` artifact.
+
+        The filename is ``<check>-<hash12>.g`` — the failing check plus the
+        content hash of the canonical text — so refiling the same minimal
+        counterexample is idempotent and distinct bugs never collide.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        spec = Spec.from_stg(stg, name=stg.name)
+        check = str(reason.get("check", "fail")).replace(os.sep, "_")
+        path = self.root / f"{check}-{spec.content_hash[:12]}.g"
+        path.write_text(write_g(stg), encoding="utf-8")
+        sidecar = path.with_suffix(".reason.json")
+        sidecar.write_text(
+            json.dumps(reason, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def entries(self) -> list[QuarantineEntry]:
+        """All filed counterexamples, sorted by filename."""
+        if not self.root.is_dir():
+            return []
+        entries = []
+        for path in sorted(self.root.glob("*.g")):
+            sidecar = path.with_suffix(".reason.json")
+            reason: dict = {}
+            if sidecar.is_file():
+                try:
+                    reason = json.loads(sidecar.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    reason = {}
+            entries.append(QuarantineEntry(path=path, reason=reason))
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def replay(self, max_markings: Optional[int] = None) -> Iterator[ReplayResult]:
+        """Re-run the check suite on every entry under its recorded faults.
+
+        Yields one :class:`ReplayResult` per entry; ``ok`` means the
+        observed outcome matches the recorded expectation.
+        """
+        from repro.corpus.checks import run_check_suite
+
+        for entry in self.entries():
+            reason = entry.reason
+            faults = get_injector(reason["faults"]) if reason.get("faults") else None
+            report = run_check_suite(
+                entry.spec,
+                max_markings=max_markings or reason.get("max_markings", 600),
+                faults=faults,
+                force_flip=bool(reason.get("force_flip")),
+            )
+            observed = "pass" if report.ok else "failure"
+            yield ReplayResult(
+                entry=entry,
+                report=report,
+                expected=entry.expect,
+                observed=observed,
+            )
+
+    def __repr__(self) -> str:
+        return f"CorpusQuarantine({str(self.root)!r}, entries={len(self)})"

@@ -48,7 +48,18 @@ class UnsafeNetError(RuntimeError):
     Either the starting marking carries multiple tokens on a place (or tokens
     on places unknown to the net), or exploration fired a transition into an
     already-marked output place.  Callers catch this and fall back to the
+    k-bounded kernel (:class:`CompiledBoundedNet`) and ultimately to the
     dict-based reference semantics.
+    """
+
+
+class BoundExceededError(UnsafeNetError):
+    """Raised when a token count overflows the k-bit place fields.
+
+    Either the starting marking already carries more than ``capacity``
+    tokens on a place, or exploration fired a transition that would push a
+    place past it.  Callers catch this and retry with wider fields (or fall
+    back to the dict-based reference semantics, which is unbounded).
     """
 
 
@@ -265,6 +276,287 @@ def compile_net(net: PetriNet) -> CompiledNet:
     compiled = CompiledNet(net)
     try:
         net._compiled_cache = (version, compiled)
+    except AttributeError:
+        pass  # net-like object without attribute support; skip caching
+    return compiled
+
+
+class CompiledBoundedNet:
+    """Packed view of a k-bounded net: ``bits``-bit token fields per place.
+
+    Generalizes :class:`CompiledNet` from safe (1-bounded) nets to
+    ``(2**bits - 1)``-bounded nets.  A marking is a single int carved into
+    fields of ``bits + 1`` bits per place — ``bits`` count bits plus one
+    *guard* bit that stays zero in every valid marking.  The guard bit makes
+    the token-flow semantics branch-free across all places at once (SWAR):
+
+    ``is_enabled(t, m)``
+        ``((m | G_t) - S_t) & G_t == G_t`` where ``G_t`` sets the guard bit
+        of every input place of ``t`` and ``S_t`` subtracts one token from
+        each.  Setting the guard before subtracting confines borrows to
+        their own field: the guard survives iff the field held >= 1 token.
+    ``fire(t, m)``
+        ``m + delta_t`` where ``delta_t = sum(post) - sum(pre)`` over the
+        fields.  A field overflowing ``capacity`` carries into its guard
+        bit, so ``result & guard_all != 0`` detects a bound violation in one
+        mask test (:class:`BoundExceededError` — callers widen the fields or
+        fall back to the unbounded reference semantics).
+
+    Exploration keeps the exact BFS discovery order of the reference
+    multiset semantics, so graphs built on this kernel are
+    indistinguishable from reference-built ones (the differential tests in
+    ``tests/test_bounded_kernel.py`` pin this).
+    """
+
+    __slots__ = (
+        "net",
+        "bits",
+        "capacity",
+        "place_names",
+        "place_index",
+        "transition_names",
+        "transition_index",
+        "pre_guards",
+        "pre_subs",
+        "deltas",
+        "guard_all",
+        "field_mask",
+        "_width",
+        "_affected",
+    )
+
+    def __init__(self, net: PetriNet, bits: int = 2):
+        if bits < 1:
+            raise ValueError(f"need at least 1 count bit per place, got {bits}")
+        self.net = net
+        self.bits = bits
+        self.capacity = (1 << bits) - 1
+        width = bits + 1
+        self._width = width
+        self.field_mask = (1 << bits) - 1
+        self.place_names: list[str] = net.places
+        self.place_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.place_names)
+        }
+        self.transition_names: list[str] = net.transitions
+        self.transition_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.transition_names)
+        }
+        place_index = self.place_index
+        guard_all = 0
+        for i in range(len(self.place_names)):
+            guard_all |= 1 << (i * width + bits)
+        self.guard_all = guard_all
+        pre_guards: list[int] = []
+        pre_subs: list[int] = []
+        deltas: list[int] = []
+        changed_guards: list[int] = []
+        for transition in self.transition_names:
+            pre = set(net.preset(transition))
+            post = set(net.postset(transition))
+            guard = 0
+            sub = 0
+            for place in pre:
+                shift = place_index[place] * width
+                guard |= 1 << (shift + bits)
+                sub |= 1 << shift
+            delta = 0
+            changed = 0
+            for place in post - pre:
+                shift = place_index[place] * width
+                delta += 1 << shift
+                changed |= 1 << (shift + bits)
+            for place in pre - post:
+                shift = place_index[place] * width
+                delta -= 1 << shift
+                changed |= 1 << (shift + bits)
+            pre_guards.append(guard)
+            pre_subs.append(sub)
+            deltas.append(delta)
+            changed_guards.append(changed)
+        self.pre_guards = pre_guards
+        self.pre_subs = pre_subs
+        self.deltas = deltas
+        # Dirty-frontier index: transitions whose preset touches a place
+        # whose token count changes when t fires (self-loop places keep
+        # their count, so they never flip anyone's enabled status).
+        self._affected: list[list[int]] = [
+            [u for u, guard in enumerate(pre_guards) if guard & changed]
+            for changed in changed_guards
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Marking conversion (API boundary)
+    # ------------------------------------------------------------------ #
+
+    def pack(self, marking: Marking) -> int:
+        """Pack a k-bounded marking into an int (``bits``-bit count fields).
+
+        Raises
+        ------
+        BoundExceededError
+            If a place holds more than ``capacity`` tokens.
+        UnsafeNetError
+            If the marking marks a place the net does not know about.
+        """
+        packed = 0
+        width = self._width
+        capacity = self.capacity
+        place_index = self.place_index
+        for place, count in marking.items():
+            index = place_index.get(place)
+            if index is None:
+                raise UnsafeNetError(f"marked place {place!r} is not part of the net")
+            if count > capacity:
+                raise BoundExceededError(
+                    f"place {place!r} holds {count} tokens; {self.bits}-bit "
+                    f"fields cap at {capacity}"
+                )
+            packed |= count << (index * width)
+        return packed
+
+    def unpack(self, packed: int) -> Marking:
+        """Unpack an int marking back into a name-based :class:`Marking`."""
+        names = self.place_names
+        width = self._width
+        field_mask = self.field_mask
+        tokens: dict[str, int] = {}
+        while packed:
+            low = packed & -packed
+            index = (low.bit_length() - 1) // width
+            shift = index * width
+            tokens[names[index]] = (packed >> shift) & field_mask
+            packed &= ~(field_mask << shift)
+        return Marking(tokens)
+
+    # ------------------------------------------------------------------ #
+    # Token-flow semantics on int markings
+    # ------------------------------------------------------------------ #
+
+    def is_enabled(self, transition: int, marking: int) -> bool:
+        """True if every input place of ``transition`` holds >= 1 token."""
+        guard = self.pre_guards[transition]
+        return ((marking | guard) - self.pre_subs[transition]) & guard == guard
+
+    def fire(self, transition: int, marking: int) -> int:
+        """Successor marking (assumes enabled; caller checks the bound)."""
+        return marking + self.deltas[transition]
+
+    def fire_checked(self, transition: int, marking: int) -> int:
+        """Successor marking, raising :class:`BoundExceededError` on overflow."""
+        successor = marking + self.deltas[transition]
+        if successor & self.guard_all:
+            raise BoundExceededError(
+                f"firing {self.transition_names[transition]!r} exceeds "
+                f"{self.capacity} tokens on a place"
+            )
+        return successor
+
+    def enabled_mask(self, marking: int) -> int:
+        """Bitmask over transition indices of the enabled transitions."""
+        mask = 0
+        bit = 1
+        for guard, sub in zip(self.pre_guards, self.pre_subs):
+            if ((marking | guard) - sub) & guard == guard:
+                mask |= bit
+            bit <<= 1
+        return mask
+
+    def enabled_transitions(self, marking: int) -> list[int]:
+        """Enabled transition indices in index (= insertion) order."""
+        return [
+            t
+            for t, (guard, sub) in enumerate(zip(self.pre_guards, self.pre_subs))
+            if ((marking | guard) - sub) & guard == guard
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Reachability (BFS over int markings)
+    # ------------------------------------------------------------------ #
+
+    def explore(
+        self,
+        initial: int,
+        max_markings: Optional[int] = None,
+        want_edges: bool = False,
+    ) -> tuple[list[int], list[int], Optional[list[tuple[int, int, int]]]]:
+        """Breadth-first exploration from a packed initial marking.
+
+        Same contract and discovery order as :meth:`CompiledNet.explore`.
+
+        Raises
+        ------
+        StateSpaceLimitExceeded
+            When more than ``max_markings`` markings are reachable.
+        BoundExceededError
+            When a firing pushes a place past ``capacity`` tokens.
+        """
+        pre_guards = self.pre_guards
+        pre_subs = self.pre_subs
+        deltas = self.deltas
+        guard_all = self.guard_all
+        affected = self._affected
+        transition_names = self.transition_names
+
+        order = [initial]
+        index_of = {initial: 0}
+        enabled = [self.enabled_mask(initial)]
+        edges: Optional[list[tuple[int, int, int]]] = [] if want_edges else None
+        head = 0
+        while head < len(order):
+            marking = order[head]
+            source = head
+            pending = enabled[head]
+            head += 1
+            while pending:
+                low = pending & -pending
+                pending ^= low
+                transition = low.bit_length() - 1
+                successor = marking + deltas[transition]
+                if successor & guard_all:
+                    raise BoundExceededError(
+                        f"firing {transition_names[transition]!r} exceeds "
+                        f"{self.capacity} tokens on a place"
+                    )
+                target = index_of.get(successor)
+                if target is None:
+                    if max_markings is not None and len(order) >= max_markings:
+                        raise StateSpaceLimitExceeded(
+                            f"more than {max_markings} reachable markings"
+                        )
+                    successor_enabled = enabled[source]
+                    for u in affected[transition]:
+                        guard_u = pre_guards[u]
+                        if ((successor | guard_u) - pre_subs[u]) & guard_u == guard_u:
+                            successor_enabled |= 1 << u
+                        else:
+                            successor_enabled &= ~(1 << u)
+                    target = len(order)
+                    index_of[successor] = target
+                    order.append(successor)
+                    enabled.append(successor_enabled)
+                if edges is not None:
+                    edges.append((source, transition, target))
+        return order, enabled, edges
+
+
+#: Field widths tried, in order, before falling back to the reference
+#: semantics: 3-bounded, 15-bounded, 255-bounded.
+BOUNDED_BITS_LADDER = (2, 4, 8)
+
+
+def compile_bounded_net(net: PetriNet, bits: int = 2) -> CompiledBoundedNet:
+    """Bounded compiled view of a net, cached per (version, bits)."""
+    version = getattr(net, "_version", None)
+    cached = getattr(net, "_bounded_compiled_cache", None)
+    if cached is not None and cached[0] == version and bits in cached[1]:
+        return cached[1][bits]
+    compiled = CompiledBoundedNet(net, bits)
+    try:
+        if cached is None or cached[0] != version:
+            net._bounded_compiled_cache = (version, {bits: compiled})
+        else:
+            cached[1][bits] = compiled
     except AttributeError:
         pass  # net-like object without attribute support; skip caching
     return compiled

@@ -120,6 +120,16 @@ class PetriNet:
         else:
             self._initial_tokens[place] = tokens
 
+    def remove_arc(self, source: str, target: str) -> None:
+        """Remove a flow arc (used by the corpus mutation operators)."""
+        if target not in self._post.get(source, ()):
+            raise KeyError(f"no arc {source!r} -> {target!r}")
+        self._post[source].discard(target)
+        self._pre[target].discard(source)
+        self._postset_cache.pop(source, None)
+        self._preset_cache.pop(target, None)
+        self._version += 1
+
     def remove_place(self, name: str) -> None:
         """Remove a place and all its arcs."""
         if name not in self._places:

@@ -21,9 +21,13 @@ from collections.abc import Iterable, Iterator
 from typing import Optional
 
 from repro.petri.compiled import (
+    BOUNDED_BITS_LADDER,
+    BoundExceededError,
+    CompiledBoundedNet,
     CompiledNet,
     StateSpaceLimitExceeded,
     UnsafeNetError,
+    compile_bounded_net,
     compile_net,
 )
 from repro.petri.marking import Marking
@@ -384,7 +388,10 @@ def build_reachability_graph(
             packed_start, max_markings=max_markings, want_edges=True
         )
     except UnsafeNetError:
-        return _reference_build_reachability_graph(net, start, max_markings)
+        bounded = _bounded_explore(net, start, max_markings, want_edges=True)
+        if bounded is None:
+            return _reference_build_reachability_graph(net, start, max_markings)
+        compiled, order, enabled, edges = bounded
     graph = ReachabilityGraph(net, start)
     graph._compiled = compiled
     graph._packed = order
@@ -406,8 +413,40 @@ def count_reachable_markings(
         packed_start = compiled.pack(start)
         order, _, _ = compiled.explore(packed_start, max_markings=max_markings)
     except UnsafeNetError:
-        return _reference_count_reachable_markings(net, start, max_markings)
+        bounded = _bounded_explore(net, start, max_markings, want_edges=False)
+        if bounded is None:
+            return _reference_count_reachable_markings(net, start, max_markings)
+        return len(bounded[1])
     return len(order)
+
+
+def _bounded_explore(
+    net: PetriNet,
+    start: Marking,
+    max_markings: Optional[int],
+    want_edges: bool,
+):
+    """Run the k-bounded kernel, widening the fields until the net fits.
+
+    Returns ``(compiled, order, enabled, edges)`` on success, or ``None``
+    when the net is not 255-bounded (or the marking is unpackable) and the
+    caller must fall back to the unbounded reference semantics.
+    ``StateSpaceLimitExceeded`` propagates — the reference BFS would hit the
+    same limit.
+    """
+    for bits in BOUNDED_BITS_LADDER:
+        compiled = compile_bounded_net(net, bits)
+        try:
+            packed_start = compiled.pack(start)
+            order, enabled, edges = compiled.explore(
+                packed_start, max_markings=max_markings, want_edges=want_edges
+            )
+        except BoundExceededError:
+            continue
+        except UnsafeNetError:
+            return None
+        return compiled, order, enabled, edges
+    return None
 
 
 def random_walk(
@@ -444,6 +483,8 @@ def concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
     compiled = graph._compiled
     if compiled is None or graph._packed is None or graph._packed_enabled is None:
         return _reference_concurrent_pairs_from_rg(graph)
+    if isinstance(compiled, CompiledBoundedNet):
+        return _bounded_concurrent_pairs_from_rg(graph, compiled)
     pre_masks = compiled.pre_masks
     post_masks = compiled.post_masks
     not_pre = compiled._not_pre
@@ -473,6 +514,39 @@ def concurrent_pairs_from_rg(graph: ReachabilityGraph) -> set[frozenset[str]]:
     return {frozenset((names[a], names[b])) for a, b in confirmed}
 
 
+def _bounded_concurrent_pairs_from_rg(
+    graph: ReachabilityGraph, compiled: "CompiledBoundedNet"
+) -> set[frozenset[str]]:
+    """Concurrency extraction over k-bit packed markings (SWAR enabled test)."""
+    pre_guards = compiled.pre_guards
+    pre_subs = compiled.pre_subs
+    deltas = compiled.deltas
+    confirmed: set[tuple[int, int]] = set()
+    for marking, enabled in zip(graph._packed, graph._packed_enabled):
+        if enabled & (enabled - 1) == 0:
+            continue  # fewer than two enabled transitions
+        transitions = []
+        pending = enabled
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            transitions.append(low.bit_length() - 1)
+        for i, first in enumerate(transitions):
+            after_first = marking + deltas[first]
+            for second in transitions[i + 1:]:
+                if (first, second) in confirmed:
+                    continue
+                guard = pre_guards[second]
+                if ((after_first | guard) - pre_subs[second]) & guard != guard:
+                    continue
+                after_second = marking + deltas[second]
+                guard = pre_guards[first]
+                if ((after_second | guard) - pre_subs[first]) & guard == guard:
+                    confirmed.add((first, second))
+    names = compiled.transition_names
+    return {frozenset((names[a], names[b])) for a, b in confirmed}
+
+
 def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> dict[str, set[Marking]]:
     """For every place, the set of reachable markings in which it is marked.
 
@@ -486,6 +560,18 @@ def marking_sets_of_places(graph: ReachabilityGraph, places: Iterable[str]) -> d
     result: dict[str, set[Marking]] = {place: set() for place in places}
     packed = graph._packed
     marking_list = graph._marking_list
+    if isinstance(compiled, CompiledBoundedNet):
+        width = compiled._width
+        field_mask = compiled.field_mask
+        for place, bucket in result.items():
+            index = compiled.place_index.get(place)
+            if index is None:
+                continue
+            field = field_mask << (index * width)
+            for bits, marking in zip(packed, marking_list):
+                if bits & field:
+                    bucket.add(marking)
+        return result
     for place, bucket in result.items():
         index = compiled.place_index.get(place)
         if index is None:

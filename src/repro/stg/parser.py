@@ -36,7 +36,7 @@ class GFormatError(ValueError):
     """Raised when a ``.g`` description cannot be parsed."""
 
 
-_MARKING_TOKEN_RE = re.compile(r"<[^>]*>|[^\s{}]+")
+_MARKING_TOKEN_RE = re.compile(r"<[^>]*>(?:=\d+)?|[^\s{}]+")
 
 
 def parse_g(text: str, name: Optional[str] = None) -> STG:
@@ -140,22 +140,37 @@ def parse_g(text: str, name: Optional[str] = None) -> STG:
     for source, target in edges:
         stg.add_arc(source, target)
 
-    # Marking.
-    marked: list[str] = []
+    # Marking.  A token may carry an explicit count (``p=2`` /
+    # ``<a+,b->=3``) for k-bounded nets; a bare name means one token.
+    marked: dict[str, int] = {}
     for token in marking_tokens:
-        if token.startswith("<") and token.endswith(">"):
-            inner = token[1:-1]
+        count = 1
+        if token.startswith("<"):
+            if ">" not in token:
+                raise GFormatError(f"malformed implicit place token {token!r}")
+            name, _, suffix = token.rpartition(">")
+            name += ">"
+            if suffix:
+                if not re.fullmatch(r"=\d+", suffix):
+                    raise GFormatError(f"malformed marking token {token!r}")
+                count = int(suffix[1:])
+            inner = name[1:-1]
             parts = [part.strip() for part in inner.split(",")]
             if len(parts) != 2:
                 raise GFormatError(f"malformed implicit place token {token!r}")
             place = f"<{parts[0]},{parts[1]}>"
             if not stg.net.is_place(place):
                 raise GFormatError(f"marking refers to unknown implicit place {place!r}")
-            marked.append(place)
         else:
-            if not stg.net.is_place(token):
-                raise GFormatError(f"marking refers to unknown place {token!r}")
-            marked.append(token)
+            place = token
+            if "=" in token:
+                place, _, suffix = token.partition("=")
+                if not suffix.isdigit():
+                    raise GFormatError(f"malformed marking token {token!r}")
+                count = int(suffix)
+            if not stg.net.is_place(place):
+                raise GFormatError(f"marking refers to unknown place {place!r}")
+        marked[place] = marked.get(place, 0) + count
     if not marked:
         raise GFormatError("no .marking section found")
     stg.set_marking(marked)

@@ -131,15 +131,21 @@ class STG:
         else:
             self.net.add_arc(source, target)
 
-    def set_marking(self, places: Iterable[str]) -> None:
-        """Set the initial marking as a set of marked places.
+    def set_marking(self, places: Iterable[str] | Mapping[str, int]) -> None:
+        """Set the initial marking from marked places or a count mapping.
 
+        An iterable of names puts one token on each listed place (the safe
+        case); a mapping assigns explicit token counts, for k-bounded STGs.
         Place names of the form ``<t1,t2>`` refer to implicit places.
         """
         for place in self.net.places:
             self.net.set_initial_tokens(place, 0)
-        for place in places:
-            self.net.set_initial_tokens(place, 1)
+        if isinstance(places, Mapping):
+            for place, count in places.items():
+                self.net.set_initial_tokens(place, count)
+        else:
+            for place in places:
+                self.net.set_initial_tokens(place, 1)
 
     # ------------------------------------------------------------------ #
     # Label queries

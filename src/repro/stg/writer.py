@@ -43,12 +43,22 @@ def write_g(stg: STG, path: Optional[str | os.PathLike] = None) -> str:
         lines.append(".internal " + " ".join(stg.internal_signals))
     lines.append(".graph")
 
-    # Adjacency: transitions first, then explicit places.
-    implicit_pairs: dict[str, tuple[str, str]] = {}
-    explicit_places: list[str] = []
+    # Adjacency: transitions first, then explicit places.  A place is
+    # written implicitly (as a transition→transition arc) only when it is
+    # the *unique* place between its transition pair — two parallel places
+    # would collapse into one arc on re-parse, so they stay explicit.
+    candidates: dict[str, tuple[str, str]] = {}
+    pair_counts: dict[tuple[str, str], int] = {}
     for place in stg.places:
         pair = _is_implicit(stg, place)
         if pair is not None:
+            candidates[place] = pair
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+    implicit_pairs: dict[str, tuple[str, str]] = {}
+    explicit_places: list[str] = []
+    for place in stg.places:
+        pair = candidates.get(place)
+        if pair is not None and pair_counts[pair] == 1:
             implicit_pairs[place] = pair
         else:
             explicit_places.append(place)
@@ -69,12 +79,17 @@ def write_g(stg: STG, path: Optional[str | os.PathLike] = None) -> str:
             lines.append(f"{place} " + " ".join(targets))
 
     marked: list[str] = []
-    for place in stg.initial_marking.marked_places:
+    for place, count in stg.initial_marking.items():
         if place in implicit_pairs:
             source, target = implicit_pairs[place]
-            marked.append(f"<{source},{target}>")
+            token = f"<{source},{target}>"
         else:
-            marked.append(place)
+            token = place
+        # Multi-token places (k-bounded STGs) carry an explicit count;
+        # plain tokens keep the classic one-token-per-name form.
+        if count > 1:
+            token += f"={count}"
+        marked.append(token)
     lines.append(".marking { " + " ".join(sorted(marked)) + " }")
     if stg.initial_values:
         pairs = " ".join(f"{s}={v}" for s, v in sorted(stg.initial_values.items()))

@@ -71,33 +71,9 @@ CONSISTENT_BENCHMARKS = (
 )
 
 
-def random_stg(rng: random.Random, allow_unsafe: bool = False) -> STG:
-    """A random small STG (usually inconsistent — that is the point)."""
-    stg = STG("rand")
-    signals = ["a", "b", "c"][: rng.randint(1, 3)]
-    for signal in signals:
-        stg.add_signal(
-            signal,
-            SignalType.OUTPUT if rng.random() < 0.5 else SignalType.INPUT,
-        )
-    for signal in signals:
-        copies = rng.randint(1, 2)
-        for index in range(copies):
-            for direction in "+-":
-                suffix = f"/{index}" if index else ""
-                stg.add_transition(f"{signal}{direction}{suffix}")
-    places = [f"p{i}" for i in range(rng.randint(2, 6))]
-    for place in places:
-        stg.add_place(place)
-    for transition in stg.transitions:
-        for place in rng.sample(places, rng.randint(1, min(2, len(places)))):
-            stg.add_arc(place, transition)
-        for place in rng.sample(places, rng.randint(1, min(2, len(places)))):
-            stg.add_arc(transition, place)
-    stg.set_marking(rng.sample(places, rng.randint(1, len(places))))
-    if allow_unsafe:
-        stg.net.set_initial_tokens(rng.choice(places), 2)
-    return stg
+# the randomized-STG machinery now lives in the corpus generator; these
+# differential tests and the fuzzing farm draw from one implementation
+from repro.corpus.generator import random_stg  # noqa: E402
 
 
 def graph_for(stg: STG):
@@ -494,8 +470,12 @@ class TestUnsafeFallback:
     def test_compiled_chain_on_fallback_graph(self):
         stg = unsafe_stg()
         graph = build_reachability_graph(stg.net)
-        # the kernel refused the net; the graph has no packed payload
-        assert graph._compiled is None or graph._packed is None
+        # the safe kernel refused the net; the k-bounded kernel took over
+        # and the graph still carries a packed payload
+        from repro.petri.compiled import CompiledBoundedNet
+
+        assert isinstance(graph._compiled, CompiledBoundedNet)
+        assert graph._packed is not None
         compiled, reference = encoded_pair(stg, graph)
         assert compiled.codes() == reference.codes()
         regions = compute_signal_regions(stg, compiled)

@@ -1,0 +1,130 @@
+"""Corpus quarantine: store interplay and replay of committed entries.
+
+The corpus quarantine is *primary evidence* (minimal counterexamples a
+human committed), while the artifact store holds *derived, recomputable*
+results.  These tests pin the boundary: store maintenance — ``clear()``,
+``sweep()``, corrupt-entry quarantining into ``v1/quarantine/`` — must
+never touch corpus counterexamples, even when the quarantine directory
+lives under the store root.  The final test is the tier-1 regression gate:
+every entry committed under ``corpus/quarantine/`` replays with its
+recorded expectation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Spec
+from repro.api.store import ArtifactStore
+from repro.corpus.quarantine import (
+    DEFAULT_QUARANTINE_DIR,
+    QUARANTINE_ENV_VAR,
+    CorpusQuarantine,
+)
+from repro.stg.parser import parse_g
+from repro.synthesis.engine import SynthesisOptions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _minimal_cell():
+    """The canonical minimal counterexample shape: one handshake cell."""
+    from repro.corpus.idioms import build_idiom
+
+    return build_idiom("independent_cell", "u_")
+
+
+class TestQuarantineStore:
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(QUARANTINE_ENV_VAR, str(tmp_path / "override"))
+        assert CorpusQuarantine().root == tmp_path / "override"
+        monkeypatch.delenv(QUARANTINE_ENV_VAR)
+        assert str(CorpusQuarantine().root) == DEFAULT_QUARANTINE_DIR
+
+    def test_filing_is_idempotent_and_distinct_bugs_do_not_collide(self, tmp_path):
+        quarantine = CorpusQuarantine(tmp_path)
+        stg = _minimal_cell()
+        first = quarantine.file(stg, {"check": "mapped", "expect": "failure"})
+        second = quarantine.file(stg, {"check": "mapped", "expect": "failure"})
+        assert first == second
+        assert len(quarantine.entries()) == 1
+        other = quarantine.file(stg, {"check": "compare", "expect": "failure"})
+        assert other != first
+        assert len(quarantine.entries()) == 2
+
+    def test_counterexamples_survive_store_clear_and_sweep(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        # derived artifacts land in the store ...
+        pipeline = Pipeline(store=store)
+        pipeline.run(Spec.from_benchmark("fig1"), SynthesisOptions(), max_markings=400)
+        assert store.stats()["entries"] > 0
+        # ... while counterexamples are filed under the same root
+        quarantine = CorpusQuarantine(tmp_path / "store" / "corpus" / "quarantine")
+        path = quarantine.file(
+            _minimal_cell(), {"check": "mapped", "expect": "failure"}
+        )
+        store.clear()
+        swept = store.sweep()
+        assert store.stats()["entries"] == 0
+        assert path.is_file()
+        assert path.with_suffix(".reason.json").is_file()
+        assert swept["stale_quarantined"] == 0  # .g files are not store entries
+        assert len(quarantine.entries()) == 1
+
+    def test_corpus_tier_is_disjoint_from_store_quarantine(self, tmp_path):
+        # the store's own v1/quarantine/ (corrupt derived entries) and the
+        # corpus quarantine never see each other's files
+        store = ArtifactStore(tmp_path / "store")
+        quarantine = CorpusQuarantine(tmp_path / "store" / "corpus" / "quarantine")
+        quarantine.file(_minimal_cell(), {"check": "mapped", "expect": "failure"})
+        assert not list(store.quarantine_dir.glob("*.g"))
+        swept = store.sweep()
+        assert swept["stale_quarantined"] == 0
+        assert len(quarantine.entries()) == 1
+
+    def test_entry_with_missing_sidecar_defaults_to_expect_failure(self, tmp_path):
+        quarantine = CorpusQuarantine(tmp_path)
+        path = quarantine.file(_minimal_cell(), {"check": "mapped"})
+        path.with_suffix(".reason.json").unlink()
+        (entry,) = quarantine.entries()
+        assert entry.reason == {}
+        assert entry.expect == "failure"
+
+
+class TestCommittedCounterexamples:
+    """Tier-1 replay of the counterexamples committed in corpus/quarantine/."""
+
+    quarantine = CorpusQuarantine(REPO_ROOT / "corpus" / "quarantine")
+
+    def test_committed_entries_exist(self):
+        assert len(self.quarantine.entries()) >= 2
+
+    def test_committed_artifacts_are_canonical_g_text(self):
+        from repro.stg.writer import write_g
+
+        for entry in self.quarantine.entries():
+            text = entry.path.read_text()
+            assert write_g(parse_g(text)) == text, entry.name
+            reason = json.loads(
+                entry.path.with_suffix(".reason.json").read_text()
+            )
+            assert reason.get("expect") in ("failure", "pass"), entry.name
+
+    @pytest.mark.parametrize(
+        "entry",
+        [pytest.param(e, id=e.name) for e in quarantine.entries()],
+    )
+    def test_committed_entries_replay_with_recorded_expectation(self, entry):
+        single = CorpusQuarantine(entry.path.parent)
+        results = [r for r in single.replay() if r.entry.path == entry.path]
+        assert results, entry.name
+        (result,) = results
+        assert result.ok, (
+            f"{entry.name}: expected {result.expected}, observed "
+            f"{result.observed} — failures: "
+            f"{[f.to_dict() for f in result.report.failures]}"
+        )

@@ -413,7 +413,10 @@ class TestUnsafeFallbackUnderFaults:
         from repro.petri.reachability import build_reachability_graph
 
         graph = build_reachability_graph(spec.stg.net)
-        assert graph._compiled is None or graph._packed is None  # fallback path
+        from repro.petri.compiled import CompiledBoundedNet
+
+        # the safe kernel refuses the net; the k-bounded kernel handles it
+        assert isinstance(graph._compiled, CompiledBoundedNet)
 
         baseline = Pipeline().run(spec, OPTIONS, backend="statebased")
         scheduler = Scheduler(retry=FAST_RETRY, faults="stage.error@synthesize=1x2")
