@@ -7,14 +7,16 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR7.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR8.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
 recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
 unified API; PR3 gate-netlist construction and gate-level differential
 verification; PR4 the compiled state-based engine and bit-parallel mapped
 verification; PR5 the durable-workspace batch throughput from
 ``bench_store.py``; PR7 the corpus generator / fuzzing-farm throughput and
-the k-bounded packed reachability kernel from ``bench_corpus.py``).
+the k-bounded packed reachability kernel from ``bench_corpus.py``; PR8 the
+exact SAT backend's encode/solve costs and the optimality-gap table from
+``bench_sat.py``).
 """
 
 from __future__ import annotations
@@ -81,18 +83,19 @@ _REQUIRED_SECTIONS = (
     "store",
     "corpus",
     "bounded_kernel",
+    "sat",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR7.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR8.json on teardown."""
     record: dict = {
-        "pr": 7,
+        "pr": 8,
         "kernel": (
-            "repro.corpus: seeded compositional STG generation, the "
-            "scheduler-driven differential fuzzing farm, and first-class "
-            "packed reachability for k-bounded (unsafe) nets"
+            "repro.sat: a pure-python CDCL solver, exact (provably "
+            "minimum-literal) synthesis as a third backend, and the "
+            "registry-wide optimality-gap report"
         ),
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -168,4 +171,15 @@ def perf_record(request):
         record["bounded_kernel_speedup_vs_reference"] = {
             name: data.get("speedup") for name, data in bounded.items()
         }
-    write_perf_record(repo_root / "BENCH_PR7.json", record)
+    sat_results = record["results"].get("sat", {})
+    gap = sat_results.get("gap_table", {})
+    if gap:
+        record["optimality_gap"] = {
+            "solved": gap.get("solved"),
+            "specs": gap.get("specs"),
+            "structural_lits": gap.get("structural_lits"),
+            "statebased_lits": gap.get("statebased_lits"),
+            "exact_lits": gap.get("exact_lits"),
+            "gap_lits": gap.get("gap_lits"),
+        }
+    write_perf_record(repo_root / "BENCH_PR8.json", record)

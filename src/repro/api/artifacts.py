@@ -364,6 +364,9 @@ class SynthesisArtifact:
     architectures: dict[str, str]
     seconds: float
     markings: Optional[int] = None
+    #: backend-specific extras (e.g. the SAT backend's per-signal minima,
+    #: candidate counts and solver statistics); must stay JSON-serializable
+    details: Optional[dict] = None
     circuit: Optional[Circuit] = field(default=None, repr=False, compare=False)
     #: the refinement artifact the structural backend synthesized from
     refinement: Optional[RefinementArtifact] = field(
@@ -388,6 +391,8 @@ class SynthesisArtifact:
         }
         if self.markings is not None:
             data["markings"] = self.markings
+        if self.details is not None:
+            data["details"] = self.details
         return _clean(data)
 
     # ------------------------------------------------------------------ #
@@ -415,6 +420,7 @@ class SynthesisArtifact:
                 "architectures": dict(self.architectures),
                 "seconds": self.seconds,
                 "markings": self.markings,
+                "details": self.details,
                 "circuit": self.circuit.to_json() if self.circuit is not None else None,
             },
         )
@@ -434,6 +440,7 @@ class SynthesisArtifact:
             architectures=dict(data["architectures"]),
             seconds=float(data["seconds"]),
             markings=None if data.get("markings") is None else int(data["markings"]),
+            details=data.get("details"),
             circuit=Circuit.from_json(circuit) if circuit else None,
         )
 

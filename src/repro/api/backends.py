@@ -10,12 +10,15 @@ with the reproduction:
   sweeps share the front-end.
 * :class:`StateBasedBackend` — the exhaustive SIS/ASSASSIN-style baseline:
   full reachability analysis and exact regions.
+* :class:`SATBackend` — provably minimum implementations from the CDCL
+  descent of :mod:`repro.sat` (ROADMAP item 2's exact backend); its
+  artifacts carry the per-signal minima counts in ``details``.
 
-:func:`compare` is the *differential* mode: it runs both backends on the
-same spec and cross-checks the circuits' next-state behaviour on every
-reachable state code — the paper's Table VI/VII comparison ("the structural
-flow synthesizes the same circuits at a fraction of the CPU time") as a
-first-class API call.
+:func:`compare` is the *differential* mode: it runs two backends (by
+default structural vs state-based — the paper's Table VI/VII comparison,
+"the structural flow synthesizes the same circuits at a fraction of the
+CPU time") on the same spec and cross-checks the circuits' next-state
+behaviour on every reachable state code, as a first-class API call.
 """
 
 from __future__ import annotations
@@ -135,9 +138,73 @@ class StateBasedBackend:
         )
 
 
+class SATBackend:
+    """Exact synthesis: provably minimum circuits via CDCL descent."""
+
+    name = "sat"
+
+    def __init__(
+        self,
+        candidate_budget: int = 4096,
+        max_solutions: int = 64,
+        seed: int = 0,
+        prefer: Optional[str] = None,
+    ):
+        self.candidate_budget = candidate_budget
+        self.max_solutions = max_solutions
+        self.seed = seed
+        self.prefer = prefer
+
+    def synthesize(
+        self,
+        pipeline,
+        spec: Spec,
+        options: SynthesisOptions,
+        max_markings: Optional[int] = None,
+    ) -> SynthesisArtifact:
+        from repro.sat.synthesize import exact_synthesize
+
+        start = time.perf_counter()
+        result = exact_synthesize(
+            spec.stg,
+            signals=options.signals,
+            check_specification=options.check_consistency,
+            max_markings=max_markings,
+            assume_csc=options.assume_csc,
+            candidate_budget=self.candidate_budget,
+            max_solutions=self.max_solutions,
+            seed=self.seed,
+            prefer=self.prefer,
+        )
+        circuit = result.circuit
+        return SynthesisArtifact(
+            spec_name=spec.name,
+            spec_hash=spec.content_hash,
+            backend=self.name,
+            level=options.level,
+            literals=circuit.literal_count(),
+            transistors=circuit.transistor_estimate(),
+            latches=circuit.num_latches(),
+            architectures={
+                signal: impl.architecture.value
+                for signal, impl in circuit.implementations.items()
+            },
+            seconds=time.perf_counter() - start,
+            markings=result.statistics.get("markings"),
+            details={
+                "exact": True,
+                "minima": result.statistics.get("minima", {}),
+                "signals": result.statistics.get("signals", {}),
+            },
+            circuit=circuit,
+            regions=result.regions,
+        )
+
+
 _BACKENDS = {
     StructuralBackend.name: StructuralBackend,
     StateBasedBackend.name: StateBasedBackend,
+    SATBackend.name: SATBackend,
 }
 
 BACKEND_NAMES = tuple(sorted(_BACKENDS))
@@ -169,11 +236,15 @@ def get_backend(backend: Union[str, Backend]) -> Backend:
 
 @dataclass
 class ComparisonReport:
-    """Cross-check of the structural and state-based circuits on one spec.
+    """Cross-check of two backends' circuits on one spec.
 
     ``matching`` is true when, at every reachable state code, both circuits
     produce the same next value for every implemented signal *and* that
     value agrees with the specification's implied next-state function.
+
+    ``structural``/``statebased`` hold the first and second backend's
+    reports respectively — the historical names of the default pair; for
+    other pairs consult ``backends`` for what each slot actually ran.
     """
 
     spec_name: str
@@ -184,6 +255,7 @@ class ComparisonReport:
     mismatches: list[dict] = field(default_factory=list)
     structural: Optional[Report] = None
     statebased: Optional[Report] = None
+    backends: tuple[str, str] = ("structural", "statebased")
 
     def __bool__(self) -> bool:
         return self.matching
@@ -206,6 +278,7 @@ class ComparisonReport:
             "checked_markings": self.checked_markings,
             "matching": self.matching,
             "mismatches": _clean(self.mismatches),
+            "backends": list(self.backends),
         }
         if self.structural is not None:
             data["structural"] = self.structural.to_dict()
@@ -222,14 +295,20 @@ def compare(
     pipeline=None,
     max_markings: Optional[int] = None,
     max_mismatches: int = 20,
+    backends: tuple[str, str] = ("structural", "statebased"),
 ) -> ComparisonReport:
-    """Run both backends and cross-check the circuits' next-state functions.
+    """Run two backends and cross-check the circuits' next-state functions.
 
     Every reachable marking of the specification is encoded and both
     circuits are evaluated on its code; disagreements (between the circuits,
     or between either circuit and the spec-implied next-state value) are
     collected as mismatch records.  Requires an enumerable state space — the
     comparison *is* the state-based cost the structural flow avoids.
+
+    ``backends`` selects the pair (first fills the report's ``structural``
+    slot, second the ``statebased`` slot); the default reproduces the
+    paper's comparison, ``("structural", "sat")`` or ``("statebased",
+    "sat")`` cross-check the exact backend.
     """
     from repro.api.pipeline import Pipeline
 
@@ -238,13 +317,16 @@ def compare(
     if pipeline is None:
         pipeline = Pipeline()
 
-    structural = pipeline.run(spec, options, backend="structural", max_markings=max_markings)
-    statebased = pipeline.run(spec, options, backend="statebased", max_markings=max_markings)
+    first_name, second_name = backends
+    structural = pipeline.run(spec, options, backend=first_name, max_markings=max_markings)
+    statebased = pipeline.run(spec, options, backend=second_name, max_markings=max_markings)
 
     stg = spec.stg
-    # the state-based backend already enumerated and encoded the graph;
-    # re-enumerate only if its regions are unavailable (e.g. custom backend)
+    # a state-based-substrate backend already enumerated and encoded the
+    # graph; re-enumerate only if no report carries its exact regions
     regions = statebased.synthesis.regions
+    if regions is None:
+        regions = structural.synthesis.regions
     if regions is None:
         regions = compute_signal_regions(stg, compute_backward=False)
     signals = [s for s in stg.non_input_signals]
@@ -304,4 +386,5 @@ def compare(
         mismatches=mismatches,
         structural=structural,
         statebased=statebased,
+        backends=(first_name, second_name),
     )

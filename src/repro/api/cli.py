@@ -9,6 +9,9 @@ Drives the unified pipeline without writing Python::
     python -m repro export sequencer --format verilog
     python -m repro export sequencer --format blif --lib two-input-only -o out.blif
     python -m repro compare sequencer --level 3
+    python -m repro compare sequencer --backends statebased sat
+    python -m repro synthesize converter_2to4 --backend sat --json
+    python -m repro gap --spec fig6 --spec glatch_3
     python -m repro bench fig13 --json
     python -m repro cache stats
     python -m repro cache prewarm 'glatch_*' --jobs 4
@@ -51,6 +54,7 @@ from repro.api.store import get_store
 from repro.gates.exporters import EXPORT_FORMATS, export_netlist
 from repro.gates.ir import NetlistError
 from repro.petri.reachability import StateSpaceLimitExceeded
+from repro.sat.encode import SatBudgetExceeded
 from repro.statebased.synthesis import StateBasedSynthesisError
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
 
@@ -195,13 +199,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     comp = sub.add_parser(
-        "compare", help="differential mode: run both backends and cross-check"
+        "compare", help="differential mode: run two backends and cross-check"
     )
     _add_spec_options(comp)
+    comp.add_argument(
+        "--backends",
+        nargs=2,
+        default=("structural", "statebased"),
+        choices=BACKEND_NAMES,
+        metavar=("FIRST", "SECOND"),
+        help="the backend pair to cross-check (default: structural statebased)",
+    )
 
     bench = sub.add_parser("bench", help="regenerate a table/figure of the paper")
     bench.add_argument("target", choices=BENCH_TARGETS)
     bench.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    gap = sub.add_parser(
+        "gap", help="optimality-gap table: structural vs exact SAT minima"
+    )
+    gap.add_argument(
+        "--spec",
+        action="append",
+        dest="specs",
+        default=None,
+        metavar="NAME",
+        help="registry spec to include (repeatable; default: the gap registry)",
+    )
+    gap.add_argument("--level", type=int, default=5, help="structural level")
+    gap.add_argument("--jobs", type=int, default=None, help="parallel workers")
+    gap.add_argument(
+        "--timeout", type=float, default=None, help="per-spec deadline in seconds"
+    )
+    gap.add_argument("--max-markings", type=int, default=None)
+    gap.add_argument("--json", action="store_true", help="emit JSON rows")
+    _add_store_location(gap)
 
     cache = sub.add_parser("cache", help="inspect or manage the artifact store")
     cache.add_argument(
@@ -455,27 +487,65 @@ def _cmd_export(args) -> int:
 def _cmd_compare(args) -> int:
     spec = Spec.load(args.spec)
     options = SynthesisOptions(level=args.level, assume_csc=args.assume_csc)
+    backends = tuple(args.backends)
     report = compare(
         spec,
         options,
         pipeline=_pipeline_from_args(args),
         max_markings=args.max_markings,
+        backends=backends,
     )
+    first, second = report.backends
+    width = max(len(first), len(second), len("checked markings"))
     lines = [
         f"{spec.name}: next-state functions "
         + ("MATCH" if report.matching else "MISMATCH"),
-        f"  checked markings : {report.checked_markings}",
-        f"  structural       : {report.structural.literals} literals, "
+        f"  {'checked markings':{width}} : {report.checked_markings}",
+        f"  {first:{width}} : {report.structural.literals} literals, "
         f"{report.structural.total_seconds:.3f}s",
-        f"  statebased       : {report.statebased.literals} literals, "
+        f"  {second:{width}} : {report.statebased.literals} literals, "
         f"{report.statebased.total_seconds:.3f}s",
     ]
     if report.speedup is not None:
-        lines.append(f"  statebased/structural time ratio: {report.speedup:.2f}x")
+        lines.append(f"  {second}/{first} time ratio: {report.speedup:.2f}x")
     for mismatch in report.mismatches:
         lines.append(f"  mismatch: {mismatch}")
     _emit(report.to_dict(), args.json, "\n".join(lines))
     return 0 if report.matching else 1
+
+
+def _cmd_gap(args) -> int:
+    from repro.experiments.optimality_gap import gap_rows
+    from repro.experiments.reporting import format_table
+
+    store = get_store(args.store, default=True)
+    rows = gap_rows(
+        names=args.specs,
+        level=args.level,
+        store=store,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_markings=args.max_markings,
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        print(
+            format_table(
+                rows, title="Optimality gap — structural vs exact SAT minima"
+            )
+        )
+    body = rows[:-1]
+    solved = [r for r in body if r["status"] == "ok"]
+    unsound = [r for r in solved if not r["sound"] or not r["matching"]]
+    if unsound:
+        print(
+            "gap violation (exact > heuristic or differential mismatch): "
+            + ", ".join(r["spec"] for r in unsound),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -753,6 +823,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "gap": _cmd_gap,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "list": _cmd_list,
@@ -777,6 +848,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
     except (SynthesisError, StateBasedSynthesisError) as error:
         print(f"synthesis error: {error}", file=sys.stderr)
+        return 2
+    except SatBudgetExceeded as error:
+        # the exact backend ran out of candidate budget: a capacity limit,
+        # reported like other resource exhaustion (state-space bounds)
+        print(f"sat budget exceeded: {error}", file=sys.stderr)
         return 2
     except NetlistError as error:
         print(f"netlist error: {error}", file=sys.stderr)

@@ -12,7 +12,9 @@ stages::
   structural CSC check;
 * ``synthesize`` — circuit generation by a pluggable backend
   (:mod:`repro.api.backends`): the structural engine at one of the
-  minimization levels M1..M5, or the exhaustive state-based baseline;
+  minimization levels M1..M5, the exhaustive state-based baseline, or the
+  exact SAT backend (:mod:`repro.sat`, provably minimum circuits whose
+  artifacts carry per-signal minima counts in ``details``);
 * ``map``        — technology mapping onto the gate library (Appendix F):
   constructs the typed gate-level netlist (:mod:`repro.gates`);
 * ``verify``     — state-based speed-independence verification, with an

@@ -39,6 +39,13 @@ cancelled and in-flight work drained — the harvested
 and :meth:`Scheduler.iter_results` yields :class:`JobResult` records in
 *completion* order, each carrying either a report or the error — the
 iterator API the experiments and the CLI progress view build on.
+
+The deadline machinery earns its keep with PR 8's exact SAT backend: the
+optimality-gap experiment (``repro.experiments.optimality_gap``) runs one
+``Job.runner`` per registry spec, and CDCL descent is the first genuinely
+open-ended work in the batch system — a spec whose search blows its
+``Job.timeout`` degrades to a typed error row while the rest of the gap
+table drains normally.
 """
 
 from __future__ import annotations
@@ -133,9 +140,9 @@ class Job:
     #: per-job deadline in seconds (pool mode; overrides the scheduler's)
     timeout: Optional[float] = None
     #: dotted ``module:function`` run *instead of* ``Pipeline.run`` — the
-    #: hook custom farms (e.g. the corpus differential campaign) use to run
-    #: their own per-spec work through the scheduler's retry/timeout/pool
-    #: machinery.  The function receives ``(job, pipeline, faults)`` and
+    #: hook custom farms (the corpus differential campaign, the SAT
+    #: optimality-gap experiment) use to run their own per-spec work
+    #: through the scheduler's retry/timeout/pool machinery.  The function receives ``(job, pipeline, faults)`` and
     #: returns a picklable report; ``total_seconds``/``event_detail`` on the
     #: report feed the ``done`` event when present.
     runner: Optional[str] = None

@@ -4,8 +4,10 @@ Every compiled/bit-parallel code path in the repository keeps its original
 dict-and-set implementation as a ``_reference_*`` oracle.  This module runs
 one generated spec through *all* of them — reachability, concurrency,
 marked regions, encoding, consistency, state coding, both synthesis
-backends in :func:`~repro.api.backends.compare` mode, and mapped-netlist
-verification — and records any disagreement as a :class:`CheckFailure`.
+backends in :func:`~repro.api.backends.compare` mode, mapped-netlist
+verification, and (on small specs) the exact SAT backend, which must agree
+with the state-based baseline on every code *and* never produce more
+literals than it — and records any disagreement as a :class:`CheckFailure`.
 
 The ``corpus.flip`` fault site plants a regression on demand: when the
 bound injector fires (or ``force_flip`` is set), the first SOP literal of
@@ -55,6 +57,11 @@ from repro.stg.encoding import (
 )
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
 from repro.synthesis.mapping import map_circuit
+
+#: exact synthesis is exponential in the worst case; corpus specs above
+#: this many reachable states skip the SAT cross-check (the differential
+#: value concentrates in small specs anyway — minima are enumerable there)
+SAT_CHECK_MAX_STATES = 200
 
 
 @dataclass
@@ -302,9 +309,62 @@ def run_check_suite(
                 _check_mapped(
                     report, fail, spec, comparison, max_markings, faults, force_flip
                 )
+                if report.states <= SAT_CHECK_MAX_STATES:
+                    _check_sat(report, fail, spec, options, max_markings, pipeline)
 
     report.total_seconds = time.monotonic() - started
     return report
+
+
+def _check_sat(
+    report: CheckReport,
+    fail,
+    spec: Spec,
+    options: SynthesisOptions,
+    max_markings: int,
+    pipeline,
+) -> None:
+    """Cross-check the exact SAT backend on a small synthesizable spec.
+
+    Two properties, both differential: the exact circuit must agree with
+    the state-based baseline on every reachable code, and its literal
+    count must not exceed the baseline's (the heuristic cover is a
+    feasible point of the exact search space, so ``exact > baseline`` is
+    a synthesis bug).  Budget exhaustion is a capacity skip, never a
+    finding.
+    """
+    from repro.sat.encode import SatBudgetExceeded
+
+    try:
+        comparison = compare(
+            spec,
+            options,
+            pipeline=pipeline,
+            max_markings=max_markings,
+            backends=("statebased", "sat"),
+        )
+    except SatBudgetExceeded:
+        return  # candidate space too large for the corpus budget
+    except (SynthesisError, StateBasedSynthesisError, EncodingError):
+        return  # legitimately unsynthesizable; not a finding
+    except Exception as error:  # noqa: BLE001 — any crash is a finding
+        fail("sat", f"crash: {type(error).__name__}: {error}")
+        return
+    if not comparison.matching:
+        fail(
+            "sat",
+            f"{len(comparison.mismatches)} exact-backend mismatches "
+            f"over {comparison.checked_markings} markings",
+        )
+        return
+    baseline = comparison.structural.synthesis  # first slot: statebased
+    exact = comparison.statebased.synthesis  # second slot: sat
+    if exact.literals > baseline.literals:
+        fail(
+            "sat",
+            f"exact backend found {exact.literals} literals, worse than "
+            f"the state-based baseline's {baseline.literals}",
+        )
 
 
 def _check_mapped(

@@ -163,6 +163,42 @@ def credit_handshake(prefix: str, credit: int = 2) -> STG:
     return stg
 
 
+def token_ring(prefix: str, cells: int = 2) -> STG:
+    """A DME-style token-ring arbiter over ``cells`` clients.
+
+    Each client runs its own 4-phase cycle ``ri+ gi+ ri- gi-``; a single
+    privilege token circulates through explicit places ``t0..t{n-1}`` —
+    the grant rise of cell ``i`` consumes ``ti``, the grant fall forwards
+    the token to ``t{(i+1) % n}`` — so grants are serialized in ring order
+    while requests stay concurrent (the distributed mutual-exclusion
+    structure of the DME arbiter papers).
+
+    Instances are live, bounded and consistent but *not* CSC-clean for
+    ``cells ≥ 2``: the token's position is invisible in the signal code
+    (all-quiet states recur with the privilege at different cells), which
+    is exactly why real DME cells add internal state signals.  In the
+    corpus this idiom therefore exercises the coding-analysis and
+    USC/CSC-conflict paths of the check suite rather than the synthesis
+    backends.
+    """
+    cells = max(2, int(cells))
+    stg = STG(f"{prefix}dme")
+    for i in range(cells):
+        r, g = f"{prefix}r{i}", f"{prefix}g{i}"
+        stg.add_signal(r, SignalType.INPUT)
+        stg.add_signal(g, SignalType.OUTPUT)
+        for label in (f"{r}+", f"{g}+", f"{r}-", f"{g}-"):
+            stg.add_transition(label)
+        _ring(stg, [f"{r}+", f"{g}+", f"{r}-", f"{g}-"])
+    for i in range(cells):
+        stg.add_place(f"{prefix}t{i}", tokens=1 if i == 0 else 0)
+    for i in range(cells):
+        stg.add_arc(f"{prefix}t{i}", f"{prefix}g{i}+")
+        stg.add_arc(f"{prefix}g{i}-", f"{prefix}t{(i + 1) % cells}")
+    stg.set_initial_values({signal: 0 for signal in stg.signal_names})
+    return stg
+
+
 #: name -> (builder, parameter spec); the parameter spec maps each keyword
 #: to the inclusive (low, high) integer range the generator samples from.
 IDIOMS: dict = {
@@ -172,6 +208,7 @@ IDIOMS: dict = {
     "mutex_pair": (mutex_pair, {}),
     "selector": (selector, {"branches": (2, 3)}),
     "credit_handshake": (credit_handshake, {"credit": (2, 5)}),
+    "token_ring": (token_ring, {"cells": (2, 3)}),
 }
 
 

@@ -1,0 +1,581 @@
+"""A dependency-free CDCL SAT solver (plus a naive DPLL reference oracle).
+
+The solver implements the standard conflict-driven clause-learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with non-chronological backjumping,
+* VSIDS-style variable activities with exponential decay,
+* Luby-sequence restarts with phase saving,
+* incremental use: clauses may be added between ``solve()`` calls (the
+  exclude-model enumeration loop of :mod:`repro.sat.synthesize`), and
+  ``solve(assumptions)`` solves under temporary unit assumptions.
+
+Everything is deterministic given the ``seed`` (which only perturbs the
+*initial* activities to break ties differently between seeds): identical
+inputs replay identical search trees, which the differential tests and the
+store-cacheable synthesis artifacts rely on.
+
+If the optional `pysat` package is installed, :func:`new_solver` can hand
+out a :class:`PysatSolver` adapter behind the same interface
+(``REPRO_SAT_SOLVER=pysat`` or ``prefer="pysat"``); tier-1 never requires
+it — the pure-python engine is the default and the only code path
+exercised in CI's dependency-free job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "CDCLSolver",
+    "PysatSolver",
+    "new_solver",
+    "pysat_available",
+    "_reference_dpll",
+]
+
+
+def _luby(x: int) -> int:
+    """The x-th term (0-based) of the Luby restart sequence: 1 1 2 1 1 2 4 …"""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class CDCLSolver:
+    """Conflict-driven clause learning over DIMACS-style signed literals.
+
+    Variables are positive integers ``1..num_vars``; a literal is ``v`` or
+    ``-v``.  ``add_clause`` grows the variable universe on demand.
+    """
+
+    def __init__(self, num_vars: int = 0, seed: int = 0):
+        self.seed = seed
+        self._num_vars = 0
+        # clause store: problem and learnt clauses share one arena
+        self._clauses: list[list[int]] = []
+        self._watches: list[list[int]] = [[], []]  # per literal index
+        self._assign: list[int] = [0]  # 1 true, -1 false, 0 unassigned
+        self._level: list[int] = [0]
+        self._reason: list[Optional[int]] = [None]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._activity: list[float] = [0.0]
+        self._saved_phase: list[int] = [-1]
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._restart_base = 64
+        self._rng = random.Random(seed)
+        self._ok = True
+        self.stats = {
+            "decisions": 0,
+            "conflicts": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # ------------------------------------------------------------------ #
+    # Variables and values
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        # a seed-dependent epsilon so distinct seeds break activity ties
+        # differently while any single seed stays fully deterministic
+        self._activity.append(self._rng.random() * 1e-6)
+        self._saved_phase.append(-1)
+        self._watches.append([])
+        self._watches.append([])
+        return self._num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable universe to at least ``count`` variables."""
+        while self._num_vars < count:
+            self.new_var()
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        """Watch-list index of a literal."""
+        return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    def _value(self, lit: int) -> int:
+        """1 if the literal is true, -1 false, 0 unassigned."""
+        v = self._assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def value_of(self, var: int) -> Optional[bool]:
+        """Value of a variable in the current (final) assignment."""
+        v = self._assign[var]
+        return None if v == 0 else v > 0
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment after a successful ``solve``."""
+        return {v: self._assign[v] > 0 for v in range(1, self._num_vars + 1)}
+
+    # ------------------------------------------------------------------ #
+    # Clauses
+    # ------------------------------------------------------------------ #
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        May be called between ``solve()`` calls — the trail is unwound to
+        the root level first, so learnt knowledge is kept but nothing above
+        level 0 survives.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        seen: dict[int, int] = {}
+        clause: list[int] = []
+        for lit in lits:
+            lit = int(lit)
+            var = abs(lit)
+            if var == 0:
+                raise ValueError("0 is not a literal")
+            self.ensure_vars(var)
+            if self._value(lit) == 1:
+                return True  # satisfied at the root level
+            if self._value(lit) == -1:
+                continue  # false at the root level: drop the literal
+            prev = seen.get(var)
+            if prev is None:
+                seen[var] = lit
+                clause.append(lit)
+            elif prev != lit:
+                return True  # tautology (v and not v)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            self._ok = self._propagate() is None
+            return self._ok
+        ci = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches[self._widx(clause[0])].append(ci)
+        self._watches[self._widx(clause[1])].append(ci)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Add many clauses; returns the final ``ok`` flag."""
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause)
+            if not ok:
+                break
+        return ok
+
+    # ------------------------------------------------------------------ #
+    # Trail
+    # ------------------------------------------------------------------ #
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        var = abs(lit)
+        if self._assign[var] != 0:
+            return self._value(lit) == 1
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._saved_phase[var] = self._assign[var]
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        clauses = self._clauses
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            neg = -lit
+            widx = self._widx(neg)
+            watchers = watches[widx]
+            i = j = 0
+            n = len(watchers)
+            conflict: Optional[int] = None
+            while i < n:
+                ci = watchers[i]
+                i += 1
+                clause = clauses[ci]
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    watchers[j] = ci
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[self._widx(clause[1])].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # clause is unit or conflicting under the current trail
+                watchers[j] = ci
+                j += 1
+                if self._value(first) == -1:
+                    conflict = ci
+                    while i < n:  # keep the remaining watchers intact
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    break
+                self._enqueue(first, ci)
+            del watchers[j:]
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            inverse = 1e-100
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= inverse
+            self._var_inc *= inverse
+
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
+        seen = bytearray(self._num_vars + 1)
+        learnt: list[int] = [0]  # slot 0 holds the asserting literal
+        bt_level = 0
+        counter = 0
+        p: Optional[int] = None
+        index = len(self._trail)
+        current = self._decision_level()
+        while True:
+            clause = self._clauses[confl]
+            for q in clause if p is None else clause[1:]:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if self._level[var] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+                        if self._level[var] > bt_level:
+                            bt_level = self._level[var]
+            while True:
+                index -= 1
+                p = self._trail[index]
+                if seen[abs(p)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            seen[abs(p)] = 0
+            confl = self._reason[abs(p)]
+        learnt[0] = -p
+        return learnt, bt_level
+
+    def _record_learnt(self, learnt: list[int]) -> None:
+        self.stats["learned"] += 1
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        # the second watch must sit at the backjump level (highest level
+        # among the non-asserting literals) for the invariant to hold
+        best = 1
+        for k in range(2, len(learnt)):
+            if self._level[abs(learnt[k])] > self._level[abs(learnt[best])]:
+                best = k
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        ci = len(self._clauses)
+        self._clauses.append(learnt)
+        self._watches[self._widx(learnt[0])].append(ci)
+        self._watches[self._widx(learnt[1])].append(ci)
+        self._enqueue(learnt[0], ci)
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def _pick_branch_var(self) -> Optional[int]:
+        best = None
+        best_act = -1.0
+        activity = self._activity
+        assign = self._assign
+        for var in range(1, self._num_vars + 1):
+            if assign[var] == 0 and activity[var] > best_act:
+                best_act = activity[var]
+                best = var
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Solve the current formula (optionally under unit assumptions).
+
+        Returns True (satisfiable; read the assignment via :meth:`model`),
+        False (unsatisfiable — under the assumptions, if any were given), or
+        None when ``max_conflicts`` was exhausted first.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        assumptions = [int(a) for a in assumptions]
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        restarts = 0
+        budget = self._restart_base * _luby(restarts + 1)
+        conflicts_since_restart = 0
+        total_conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats["conflicts"] += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return False
+                learnt, bt_level = self._analyze(confl)
+                self._cancel_until(bt_level)
+                self._record_learnt(learnt)
+                self._var_inc *= self._var_decay
+                if max_conflicts is not None and total_conflicts >= max_conflicts:
+                    self._cancel_until(0)
+                    return None
+                continue
+            if conflicts_since_restart >= budget:
+                self.stats["restarts"] += 1
+                restarts += 1
+                budget = self._restart_base * _luby(restarts + 1)
+                conflicts_since_restart = 0
+                self._cancel_until(0)
+                continue
+            # place pending assumptions first, one decision level each
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == -1:
+                    return False  # refuted under the earlier assumptions
+                self._trail_lim.append(len(self._trail))
+                if value == 0:
+                    self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                return True
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            phase = self._saved_phase[var]
+            self._enqueue(var if phase > 0 else -var, None)
+
+
+# ---------------------------------------------------------------------- #
+# Optional pysat fast path
+# ---------------------------------------------------------------------- #
+
+
+def pysat_available() -> bool:
+    """True when the optional `pysat` package can actually be imported."""
+    try:
+        from pysat.solvers import Solver  # noqa: F401
+    except Exception:  # pragma: no cover - absent in the reference env
+        return False
+    return True  # pragma: no cover
+
+
+class PysatSolver:
+    """Adapter exposing a `pysat` solver behind the CDCLSolver interface.
+
+    Only constructed when `pysat` imports; tier-1 never instantiates it.
+    """
+
+    def __init__(self, num_vars: int = 0, seed: int = 0, engine: str = "glucose3"):
+        from pysat.solvers import Solver
+
+        self.seed = seed
+        self._solver = Solver(name=engine)
+        self._num_vars = num_vars
+        self._model: dict[int, bool] = {}
+        self.stats = {"conflicts": 0, "decisions": 0}
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        self._num_vars = max(self._num_vars, count)
+
+    def add_clause(self, lits) -> bool:
+        lits = [int(l) for l in lits]
+        for lit in lits:
+            self.ensure_vars(abs(lit))
+        self._solver.add_clause(lits)
+        return True
+
+    def add_clauses(self, clauses) -> bool:
+        for clause in clauses:
+            self.add_clause(clause)
+        return True
+
+    def solve(self, assumptions=(), max_conflicts=None) -> Optional[bool]:
+        result = self._solver.solve(assumptions=list(assumptions))
+        if result:
+            self._model = {abs(l): l > 0 for l in self._solver.get_model() or ()}
+        return bool(result)
+
+    def value_of(self, var: int) -> Optional[bool]:
+        return self._model.get(var)
+
+    def model(self) -> dict[int, bool]:
+        return dict(self._model)
+
+
+def new_solver(seed: int = 0, prefer: Optional[str] = None):
+    """Construct a solver: the pure-python CDCL engine, or `pysat` if asked.
+
+    ``prefer`` (or ``$REPRO_SAT_SOLVER``) selects ``"cdcl"`` (default),
+    ``"pysat"`` (errors if absent), or ``"auto"`` (pysat when available).
+    """
+    choice = (prefer or os.environ.get("REPRO_SAT_SOLVER") or "cdcl").lower()
+    if choice == "cdcl":
+        return CDCLSolver(seed=seed)
+    if choice == "pysat":
+        if not pysat_available():
+            raise RuntimeError(
+                "REPRO_SAT_SOLVER=pysat requested but the pysat package is "
+                "not installed (tier-1 stays dependency-free: use cdcl)"
+            )
+        return PysatSolver(seed=seed)  # pragma: no cover
+    if choice == "auto":
+        if pysat_available():  # pragma: no cover
+            return PysatSolver(seed=seed)
+        return CDCLSolver(seed=seed)
+    raise ValueError(f"unknown SAT solver preference {choice!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Reference oracle
+# ---------------------------------------------------------------------- #
+
+
+def _reference_dpll(
+    clauses: Sequence[Sequence[int]], num_vars: Optional[int] = None
+) -> tuple[bool, Optional[dict[int, bool]]]:
+    """Naive DPLL with unit propagation — the differential oracle.
+
+    Exponential and recursion-based: only for the randomized differential
+    tests (small formulas), never for synthesis.
+    """
+    if num_vars is None:
+        num_vars = max((abs(l) for c in clauses for l in c), default=0)
+    assignment: dict[int, bool] = {}
+
+    def propagate(clauses):
+        """Exhaustive unit propagation; returns residual clauses or None."""
+        changed = True
+        while changed:
+            changed = False
+            units = [c[0] for c in clauses if len(c) == 1]
+            if not units:
+                break
+            for unit in units:
+                var, value = abs(unit), unit > 0
+                if assignment.get(var, value) != value:
+                    return None
+                assignment[var] = value
+                residual = []
+                for clause in clauses:
+                    if unit in clause:
+                        continue
+                    reduced = [l for l in clause if l != -unit]
+                    if not reduced:
+                        return None
+                    residual.append(reduced)
+                clauses = residual
+                changed = True
+        return clauses
+
+    def recurse(clauses) -> bool:
+        clauses = propagate(clauses)
+        if clauses is None:
+            return False
+        if not clauses:
+            return True
+        var = min(abs(l) for c in clauses for l in c)
+        saved = dict(assignment)
+        for value in (False, True):
+            lit = var if value else -var
+            assignment.clear()
+            assignment.update(saved)
+            if recurse(clauses + [[lit]]):
+                return True
+        assignment.clear()
+        assignment.update(saved)
+        return False
+
+    normalized = [list(dict.fromkeys(int(l) for l in c)) for c in clauses]
+    if any(not clause for clause in normalized):
+        return False, None
+    # tautological clauses (v and not v) are always satisfied: drop them
+    if recurse([c for c in normalized if not any(-l in c for l in c)]):
+        for var in range(1, num_vars + 1):
+            assignment.setdefault(var, False)
+        return True, assignment
+    return False, None

@@ -1,0 +1,291 @@
+"""Tests of the exact SAT synthesis backend (:mod:`repro.sat`).
+
+The exact backend's contract is differential: on every spec it must agree
+with both existing backends at every reachable code, and its literal count
+must never exceed either heuristic's (their covers are feasible points of
+the exact search space).  Plus unit tests of the CNF building blocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import Pipeline, SynthesisOptions, compare, get_backend
+from repro.api.artifacts import SynthesisArtifact
+from repro.api.backends import BACKEND_NAMES, SATBackend
+from repro.api.spec import Spec
+from repro.sat.encode import (
+    CoverProblem,
+    SatBudgetExceeded,
+    add_at_most,
+    add_counter,
+    enumerate_implicants,
+)
+from repro.sat.solver import CDCLSolver
+from repro.sat.synthesize import exact_synthesize, minimize_problem
+
+#: small specs with enumerable state spaces and certified CSC
+EXACT_NAMES = ["handshake_seq", "sequencer", "converter_2to4", "muller_pipeline_2"]
+
+
+class TestCardinalityEncodings:
+    @pytest.mark.parametrize("bound", [0, 1, 2, 3, 4])
+    def test_add_at_most_exact_semantics(self, bound):
+        # SAT under exactly those full assignments with cardinality <= bound
+        n = 4
+        clauses: list[list[int]] = []
+        next_var = add_at_most(clauses, list(range(1, n + 1)), bound, n)
+        for bits in itertools.product([False, True], repeat=n):
+            solver = CDCLSolver()
+            solver.ensure_vars(next_var)
+            solver.add_clauses(clauses)
+            assumptions = [v if bits[v - 1] else -v for v in range(1, n + 1)]
+            verdict = solver.solve(assumptions=assumptions)
+            assert verdict is (sum(bits) <= bound), (bits, bound)
+
+    def test_add_at_most_negative_bound(self):
+        clauses: list[list[int]] = []
+        add_at_most(clauses, [1, 2], -1, 2)
+        assert [] in clauses  # trivially unsatisfiable
+
+    def test_add_at_most_weighted_by_repetition(self):
+        # lit 1 with weight 2: one solver, bound 2 allows {1}, bound 1 bans it
+        solver = CDCLSolver()
+        solver.ensure_vars(2)
+        clauses: list[list[int]] = []
+        next_var = add_at_most(clauses, [1, 1, 2], 1, 2)
+        solver.ensure_vars(next_var)
+        solver.add_clauses(clauses)
+        assert solver.solve(assumptions=[1]) is False  # weight 2 > bound 1
+        assert solver.solve(assumptions=[2]) is True
+
+    def test_add_counter_thresholds(self):
+        # weights 2 + 1 + 3; every threshold output must track the sum
+        items = [(1, 2), (2, 1), (3, 3)]
+        width = 6
+        clauses: list[list[int]] = []
+        next_var, outputs = add_counter(clauses, items, width, 3)
+        assert len(outputs) == width
+        solver = CDCLSolver()
+        solver.ensure_vars(next_var)
+        solver.add_clauses(clauses)
+        for bits in itertools.product([False, True], repeat=3):
+            total = sum(w for (lit, w), b in zip(items, bits) if b)
+            assumptions = [lit if b else -lit for (lit, _), b in zip(items, bits)]
+            assert solver.solve(assumptions=assumptions) is True
+            for j in range(width):
+                if total >= j + 1:
+                    assert solver.value_of(outputs[j]) is True
+        # and the tightening clause actually bans the heavy selection
+        solver.add_clause([-outputs[2]])  # sum <= 2
+        assert solver.solve(assumptions=[3]) is False  # weight 3 alone busts it
+        assert solver.solve(assumptions=[2, -1, -3]) is True
+
+    def test_add_counter_empty(self):
+        clauses: list[list[int]] = []
+        assert add_counter(clauses, [], 4, 0) == (0, [])
+        assert clauses == []
+
+
+class TestImplicantEnumeration:
+    def test_single_minterm_no_off_set_expands_to_tautology(self):
+        # 2 signals, seed 0b00, empty off-set: the free expansion reaches
+        # the universal cube (care == 0)
+        cubes = enumerate_implicants(0b11, [0b00], [], budget=64)
+        assert (0, 0) in cubes
+        assert len(cubes) == 4  # 00, 0-, -0, --
+
+    def test_off_set_prunes_expansion(self):
+        # off-set = exactly 0b11: cubes containing it are pruned
+        cubes = enumerate_implicants(0b11, [0b00], [(0b11, 0b11)], budget=64)
+        assert (0, 0) not in cubes
+        assert all((care & 0b11) != 0 or False for care, _ in cubes) or cubes
+        for care, value in cubes:
+            # no cube may contain the off minterm 11
+            assert not ((0b11 & care) == (value & care) and value | ~care & 0b11)
+
+    def test_primes_only_keeps_maximal(self):
+        all_cubes = set(enumerate_implicants(0b11, [0b00], [(0b11, 0b11)], budget=64))
+        primes = set(
+            enumerate_implicants(
+                0b11, [0b00], [(0b11, 0b11)], budget=64, primes_only=True
+            )
+        )
+        assert primes < all_cubes
+        # the two 1-literal cubes a'=(01 care, 00 val) and b' are the primes
+        assert primes == {(0b01, 0b00), (0b10, 0b00)}
+
+    def test_budget_raises(self):
+        with pytest.raises(SatBudgetExceeded):
+            enumerate_implicants((1 << 10) - 1, [0], [], budget=8)
+
+
+class TestMinimizeProblem:
+    def test_empty_on_set_is_the_empty_cover(self):
+        problem = CoverProblem(
+            signal="x", kind="set", signals_mask=0b11, on_codes=(), off_pairs=()
+        )
+        solution = minimize_problem(problem)
+        assert solution.gates == 0 and solution.literals == 0
+        assert solution.solutions == [[]]
+
+    def test_two_minterm_merge(self):
+        # on = {00, 01}, off = {10, 11}: minimum is the single cube a'
+        problem = CoverProblem(
+            signal="x",
+            kind="complete",
+            signals_mask=0b11,
+            on_codes=(0b00, 0b10),  # bit0 = a varies; bit1 = b stays 0
+            off_pairs=((0b01, 0b01),),  # b == 1 is off  (care=b, value=b)
+        )
+        solution = minimize_problem(problem)
+        assert solution.gates == 1
+        assert solution.literals == 1
+        assert len(solution.solutions) == 1
+
+    def test_infeasible_on_code_raises(self):
+        from repro.sat.synthesize import ExactSynthesisError
+
+        problem = CoverProblem(
+            signal="x",
+            kind="complete",
+            signals_mask=0b1,
+            on_codes=(0b0,),
+            off_pairs=((0b0, 0b0),),  # off-set covers every code
+        )
+        with pytest.raises(ExactSynthesisError):
+            minimize_problem(problem)
+
+    def test_enumeration_cap_marks_truncation(self):
+        # 2 on-minterms, generous off-free space, max_solutions=1
+        problem = CoverProblem(
+            signal="x",
+            kind="complete",
+            signals_mask=0b111,
+            on_codes=(0b000, 0b111),
+            off_pairs=(),
+        )
+        solution = minimize_problem(problem, max_solutions=1)
+        assert len(solution.solutions) == 1
+        assert solution.truncated is True
+
+
+class TestExactSynthesize:
+    def test_fig6_circuit_is_minimal_and_correct(self, fig6):
+        result = exact_synthesize(fig6)
+        assert result.circuit.metadata["sat"]["exact"] is True
+        assert result.statistics["markings"] > 0
+        # exact never beats the spec: verify against the state-based baseline
+        from repro.statebased.synthesis import synthesize_state_based
+
+        baseline = synthesize_state_based(fig6)
+        assert result.circuit.literal_count() <= baseline.circuit.literal_count()
+
+    def test_signals_subset(self, fig6):
+        signal = sorted(fig6.non_input_signals)[0]
+        result = exact_synthesize(fig6, signals=[signal])
+        assert list(result.circuit.implementations) == [signal]
+
+    def test_budget_exhaustion_raises_skip(self, fig6):
+        with pytest.raises(SatBudgetExceeded):
+            exact_synthesize(fig6, candidate_budget=1)
+
+
+class TestSATBackend:
+    def test_registered(self):
+        assert "sat" in BACKEND_NAMES
+        assert isinstance(get_backend("sat"), SATBackend)
+
+    @pytest.mark.parametrize("name", EXACT_NAMES)
+    def test_agrees_with_both_backends_and_never_worse(self, name):
+        pipeline = Pipeline()
+        spec = Spec.from_benchmark(name)
+        options = SynthesisOptions(level=5, assume_csc=True)
+        exact = pipeline.synthesize(spec, options, backend="sat")
+        for baseline in ("structural", "statebased"):
+            report = compare(
+                spec, options, pipeline=pipeline, backends=(baseline, "sat")
+            )
+            assert report.matching, report.mismatches
+            assert report.backends == (baseline, "sat")
+            assert exact.literals <= report.structural.synthesis.literals
+
+    def test_artifact_details_roundtrip(self):
+        pipeline = Pipeline()
+        spec = Spec.from_benchmark("sequencer")
+        artifact = pipeline.synthesize(
+            spec, SynthesisOptions(assume_csc=True), backend="sat"
+        )
+        assert artifact.details["exact"] is True
+        assert artifact.details["minima"]  # per-signal minima counts
+        restored = SynthesisArtifact.from_json(json.loads(json.dumps(artifact.to_json())))
+        assert restored.details == json.loads(json.dumps(artifact.details))
+        assert restored.literals == artifact.literals
+
+    def test_store_roundtrip_preserves_details(self, tmp_path):
+        from repro.api.store import ArtifactStore
+
+        pipeline = Pipeline(store=ArtifactStore(tmp_path / "store"))
+        spec = Spec.from_benchmark("sequencer")
+        options = SynthesisOptions(assume_csc=True)
+        first = pipeline.synthesize(spec, options, backend="sat")
+        fresh = Pipeline(store=ArtifactStore(tmp_path / "store"))
+        second = fresh.synthesize(spec, options, backend="sat")
+        assert second.details == json.loads(json.dumps(first.details))
+        assert second.literals == first.literals
+
+
+class TestGapExperiment:
+    def test_gap_rows_smoke(self):
+        from repro.experiments.optimality_gap import gap_rows
+
+        rows = gap_rows(names=["fig6", "muller_pipeline_2"])
+        assert [r["spec"] for r in rows] == ["fig6", "muller_pipeline_2", "TOTAL"]
+        for row in rows[:-1]:
+            assert row["status"] == "ok"
+            assert row["sound"] is True and row["matching"] is True
+            assert row["exact_lits"] <= row["structural_lits"]
+            assert row["exact_lits"] <= row["statebased_lits"]
+        total = rows[-1]
+        assert total["status"] == "2/2 ok"
+        assert total["gap_lits"] == total["structural_lits"] - total["exact_lits"]
+
+    def test_gap_registry_is_complete(self):
+        from repro.benchmarks.registry import list_benchmarks
+        from repro.experiments.optimality_gap import GAP_SPECS
+
+        assert len(GAP_SPECS) == 13
+        assert set(GAP_SPECS) <= set(list_benchmarks())
+
+
+class TestCLI:
+    def test_gap_command(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["gap", "--spec", "fig6", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rows = json.loads(out)
+        assert rows[-1]["spec"] == "TOTAL"
+        assert rows[0]["sound"] is True
+
+    def test_synthesize_sat_backend(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["synthesize", "sequencer", "--backend", "sat", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["backend"] == "sat"
+        assert data["synthesize"]["details"]["exact"] is True
+
+    def test_compare_backend_pair(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["compare", "fig6", "--backends", "statebased", "sat"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATCH" in out

@@ -1,0 +1,221 @@
+"""Tests of the pure-python CDCL solver (:mod:`repro.sat.solver`).
+
+The solver is the trust anchor of the exact backend, so it gets the same
+treatment as the compiled kernels: hand-built formulas with known
+answers, structured hard instances (pigeonhole), and a randomized
+differential sweep against the naive DPLL ``_reference_dpll`` oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import (
+    CDCLSolver,
+    _luby,
+    _reference_dpll,
+    new_solver,
+    pysat_available,
+)
+
+
+def satisfies(clauses, model: dict[int, bool]) -> bool:
+    """Check a model against a CNF (every clause has a true literal)."""
+    return all(
+        any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+def pigeonhole(holes: int) -> list[list[int]]:
+    """PHP(holes+1, holes): unsatisfiable for every ``holes`` >= 1."""
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert CDCLSolver().solve() is True
+
+    def test_single_unit(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.solve() is True
+        assert solver.value_of(1) is True
+
+    def test_contradictory_units(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.add_clause([-1]) is False
+        assert solver.solve() is False
+
+    def test_empty_clause_is_unsat(self):
+        solver = CDCLSolver()
+        assert solver.add_clause([]) is False
+        assert solver.solve() is False
+
+    def test_unit_propagation_chain(self):
+        # 1, 1->2, 2->3, 3->4: all forced true without any decision
+        solver = CDCLSolver()
+        solver.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        assert solver.solve() is True
+        assert all(solver.value_of(v) is True for v in (1, 2, 3, 4))
+        assert solver.stats["decisions"] == 0
+
+    def test_conflict_learning_small_unsat(self):
+        # all eight clauses over three variables: classically unsat
+        solver = CDCLSolver()
+        for bits in itertools.product((1, -1), repeat=3):
+            solver.add_clause([sign * var for sign, var in zip(bits, (1, 2, 3))])
+        assert solver.solve() is False
+
+    def test_model_satisfies_formula(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        solver = CDCLSolver()
+        solver.add_clauses(clauses)
+        assert solver.solve() is True
+        assert satisfies(clauses, solver.model())
+
+    def test_default_phase_is_negative(self):
+        # phase saving starts negative so selection variables in the
+        # synthesis encodings default to "unselected"
+        solver = CDCLSolver()
+        solver.ensure_vars(3)
+        solver.add_clause([1, 2, 3])
+        assert solver.solve() is True
+        assert sum(1 for v in (1, 2, 3) if solver.value_of(v)) == 1
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [1, 2, 3, 4])
+    def test_unsat(self, holes):
+        solver = CDCLSolver()
+        solver.add_clauses(pigeonhole(holes))
+        assert solver.solve() is False
+        if holes >= 3:
+            assert solver.stats["conflicts"] > 0  # genuinely needed search
+
+    def test_conflict_budget_returns_none(self):
+        solver = CDCLSolver()
+        solver.add_clauses(pigeonhole(5))
+        verdict = solver.solve(max_conflicts=1)
+        assert verdict is None
+        # the budget is a pause, not a corruption: solving on works
+        assert solver.solve() is False
+
+
+class TestAssumptions:
+    def test_sat_and_refuted_assumptions(self):
+        solver = CDCLSolver()
+        solver.add_clauses([[1, 2], [-1, -2]])
+        assert solver.solve(assumptions=[1]) is True
+        assert solver.value_of(1) is True and solver.value_of(2) is False
+        assert solver.solve(assumptions=[1, 2]) is False
+        # assumptions do not persist: the plain formula stays satisfiable
+        assert solver.solve() is True
+
+    def test_incremental_clause_addition(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        solver.add_clause([-1])
+        assert solver.solve() is True
+        assert solver.value_of(2) is True
+        solver.add_clause([-2])
+        assert solver.solve() is False
+
+    def test_model_enumeration_via_blocking(self):
+        # x1+x2+x3 >= 1 has exactly 7 models
+        clauses = [[1, 2, 3]]
+        solver = CDCLSolver()
+        solver.add_clauses(clauses)
+        seen = set()
+        while solver.solve() is True:
+            model = tuple(bool(solver.value_of(v)) for v in (1, 2, 3))
+            assert model not in seen
+            seen.add(model)
+            solver.add_clause(
+                [-v if solver.value_of(v) else v for v in (1, 2, 3)]
+            )
+        assert len(seen) == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        clauses = [[1, 2, 5], [-2, 3], [-5, -3, 4], [2, -4], [1, -5]]
+        models = []
+        for _ in range(2):
+            solver = CDCLSolver(seed=7)
+            solver.add_clauses(clauses)
+            assert solver.solve() is True
+            models.append(tuple(sorted(solver.model().items())))
+        assert models[0] == models[1]
+
+    def test_luby_sequence(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1,
+        ]
+        # every power of two appears, and the sequence never explodes
+        assert max(_luby(i) for i in range(1, 64)) == 32
+
+
+class TestDifferential:
+    """Randomized 3-CNF sweep: CDCL vs the naive DPLL oracle."""
+
+    def random_cnf(self, rng, num_vars, num_clauses):
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            chosen = rng.sample(range(1, num_vars + 1), size)
+            clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+        return clauses
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_reference(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            num_vars = rng.randint(3, 8)
+            clauses = self.random_cnf(rng, num_vars, rng.randint(2, 4 * num_vars))
+            expected, _model = _reference_dpll(clauses, num_vars)
+            solver = CDCLSolver(seed=seed)
+            solver.add_clauses(clauses)
+            verdict = solver.solve()
+            assert verdict is expected, f"divergence on {clauses}"
+            if verdict:
+                assert satisfies(clauses, solver.model())
+
+    def test_reference_oracle_basics(self):
+        assert _reference_dpll([[1], [-1]], 1) == (False, None)
+        sat, model = _reference_dpll([[1, 2], [-1]], 2)
+        assert sat is True and model[2] is True
+
+
+class TestSolverFactory:
+    def test_default_is_cdcl(self):
+        assert isinstance(new_solver(), CDCLSolver)
+
+    def test_explicit_cdcl(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAT_SOLVER", "pysat")
+        # an explicit prefer= wins over the environment
+        assert isinstance(new_solver(prefer="cdcl"), CDCLSolver)
+
+    def test_unknown_preference(self):
+        with pytest.raises(ValueError, match="unknown SAT solver"):
+            new_solver(prefer="quantum")
+
+    @pytest.mark.skipif(pysat_available(), reason="pysat installed")
+    def test_pysat_absent_is_explicit_error(self):
+        with pytest.raises(RuntimeError, match="pysat"):
+            new_solver(prefer="pysat")
+
+    @pytest.mark.skipif(pysat_available(), reason="pysat installed")
+    def test_auto_degrades_to_cdcl(self):
+        assert isinstance(new_solver(prefer="auto"), CDCLSolver)
