@@ -16,7 +16,8 @@ verification; PR5 the durable-workspace batch throughput from
 ``bench_store.py``; PR7 the corpus generator / fuzzing-farm throughput and
 the k-bounded packed reachability kernel from ``bench_corpus.py``; PR8 the
 exact SAT backend's encode/solve costs and the optimality-gap table from
-``bench_sat.py``).
+``bench_sat.py``; PR9 the prefork serving fleet's saturation throughput,
+tail latency and thundering-herd coalescing from ``bench_fleet.py``).
 """
 
 from __future__ import annotations
@@ -84,18 +85,19 @@ _REQUIRED_SECTIONS = (
     "corpus",
     "bounded_kernel",
     "sat",
+    "fleet",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR8.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR9.json on teardown."""
     record: dict = {
-        "pr": 8,
+        "pr": 9,
         "kernel": (
-            "repro.sat: a pure-python CDCL solver, exact (provably "
-            "minimum-literal) synthesis as a third backend, and the "
-            "registry-wide optimality-gap report"
+            "repro.api.fleet: supervised prefork SO_REUSEPORT serving fleet "
+            "with fleet-wide single-flight coalescing, a hot-spec LRU store "
+            "tier, and chaos-proven zero-loss drain/respawn"
         ),
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -182,4 +184,18 @@ def perf_record(request):
             "exact_lits": gap.get("exact_lits"),
             "gap_lits": gap.get("gap_lits"),
         }
-    write_perf_record(repo_root / "BENCH_PR8.json", record)
+    fleet_results = record["results"].get("fleet", {})
+    if fleet_results:
+        record["fleet_serving"] = {
+            "cores": fleet_results.get("cores"),
+            "best_req_per_s": fleet_results.get("best_req_per_s"),
+            "vs_pr5_server": fleet_results.get("vs_pr5_server"),
+            "p99_ms": {
+                workers: row.get("p99_ms")
+                for workers, row in fleet_results.get("saturation", {}).items()
+            },
+            "herd_coalescing_hit_rate": fleet_results.get("herd", {}).get(
+                "coalescing_hit_rate"
+            ),
+        }
+    write_perf_record(repo_root / "BENCH_PR9.json", record)

@@ -29,6 +29,15 @@ worker-pool recovery (:class:`~repro.api.scheduler.PoisonJobError`
 quarantines repeat killers), store corruption quarantine, and graceful
 server degradation (bounded admission, ``/ready``, structured errors).
 
+Since PR 9 the daemon *scales out*: ``repro serve --workers N`` runs a
+supervised prefork fleet (:mod:`repro.api.fleet`) of ``SO_REUSEPORT``
+workers sharing one store — crashed or hung workers are respawned,
+recycled workers drain gracefully, thundering herds on one cold spec are
+coalesced to a single computation fleet-wide
+(:class:`~repro.api.fleet.SingleFlight`), and the
+:class:`~repro.api.client.Client` grows a per-endpoint circuit breaker,
+hedged reads, and a retry wall-clock budget.
+
 Convenience entry points::
 
     from repro.api import run, compare, synthesize_many
@@ -65,7 +74,7 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.batch import synthesize_many
-from repro.api.client import Client, ClientError
+from repro.api.client import Client, ClientError, CircuitOpenError
 from repro.api.events import Event, EventLog, progress_printer
 from repro.api.faults import (
     FaultInjector,
@@ -74,6 +83,7 @@ from repro.api.faults import (
     TransientError,
     get_injector,
 )
+from repro.api.fleet import FleetConfig, FleetSupervisor, SingleFlight
 from repro.api.pipeline import Pipeline
 from repro.api.scheduler import (
     NO_RETRY,

@@ -302,6 +302,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds an admitted request may wait for the service lock "
         "before a 504 (default: wait indefinitely)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="prefork a supervised SO_REUSEPORT fleet of N worker processes "
+        "(0, the default, serves single-process in this process)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="recycle a fleet worker after serving this many requests "
+        "(default: never; fleet mode only)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a draining worker may spend finishing in-flight "
+        "requests before it is killed (fleet mode only, default 10)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help="seconds without a worker heartbeat before the supervisor "
+        "declares it hung and respawns it (fleet mode only, default 10)",
+    )
+    serve.add_argument(
+        "--hot-cache",
+        type=int,
+        default=256,
+        help="per-worker in-memory LRU of hot store artifacts "
+        "(fleet mode only, 0 disables; default 256)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for fleet chaos runs, e.g. "
+        "'seed=7;worker.kill@synthesize=0.05' (default $REPRO_FAULTS)",
+    )
     _add_store_location(serve)
 
     fuzz = sub.add_parser(
@@ -689,6 +731,28 @@ def _cmd_serve(args) -> int:
     from repro.api.server import run_server
 
     store = None if args.no_store else get_store(args.store, default=True)
+    if args.workers > 0:
+        import os as _os
+
+        from repro.api.fleet import FleetConfig, run_fleet
+
+        faults = args.faults if args.faults is not None else _os.environ.get("REPRO_FAULTS")
+        return run_fleet(
+            FleetConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                store=str(store.root) if store is not None else None,
+                max_requests=args.max_requests,
+                drain_timeout=args.drain_timeout,
+                heartbeat_timeout=args.heartbeat_timeout,
+                max_queue=args.max_queue,
+                request_timeout=args.request_timeout,
+                faults=faults,
+                verbose=args.verbose,
+                lru_size=args.hot_cache,
+            )
+        )
     return run_server(
         host=args.host,
         port=args.port,

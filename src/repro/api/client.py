@@ -22,20 +22,47 @@ carrying the server's structured error document (stable ``code``, the
 human ``message``, and the ``retryable`` flag); connection failures raise
 the usual ``urllib.error.URLError``.  Responses the server marks retryable
 — overload shedding (503), deadline misses (504) — and transient transport
-failures are retried automatically with exponential backoff, honouring the
-server's ``Retry-After`` header; ``Client(retries=0)`` restores the
-single-shot behaviour.
+failures (connection refused/reset, a worker killed mid-response, a fleet
+member restarting) are retried automatically with exponential backoff,
+honouring the server's ``Retry-After`` header in both its delta-seconds
+and HTTP-date forms; ``Client(retries=0)`` restores the single-shot
+behaviour and ``retry_budget`` caps the total retry wall-clock so a
+flapping server cannot hang callers indefinitely.
+
+Fleet hardening (PR 9): a per-endpoint *circuit breaker* trips to ``open``
+after ``breaker_threshold`` consecutive exhausted failures — further calls
+fail fast with :class:`CircuitOpenError` instead of piling onto a dead
+endpoint — and probes half-open after ``breaker_reset`` seconds.
+``hedge_delay`` arms *hedged reads* for idempotent GET endpoints: when the
+first attempt has not answered within the delay, a second concurrent
+attempt races it and the first response wins (tail-latency insurance
+against one slow or dying worker).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
+import threading
 import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from email.utils import parsedate_to_datetime
 from typing import Optional
+
+#: transport-level failures worth retrying: the connection never happened
+#: (refused, DNS), died mid-flight (reset, a killed fleet worker answering
+#: with a truncated response), or timed out.  ``URLError`` must come first
+#: in except clauses only where ordering matters; membership here is what
+#: the retry loop checks.
+TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+)
 
 from repro.api.artifacts import Report
 from repro.api.spec import Spec, SpecLike
@@ -65,6 +92,87 @@ class ClientError(RuntimeError):
         self.code = code
         self.retryable = retryable
         self.retry_after = retry_after
+
+
+class CircuitOpenError(RuntimeError):
+    """The endpoint's circuit breaker is open; the call failed fast.
+
+    Raised without touching the network: the endpoint exhausted
+    ``breaker_threshold`` consecutive calls (including their in-call
+    retries), so further traffic is pointless until the breaker half-opens
+    after ``breaker_reset`` seconds.  ``retry_in`` says how long that is.
+    """
+
+    def __init__(self, endpoint: str, retry_in: float):
+        super().__init__(
+            f"circuit open for {endpoint} (retry in {retry_in:.1f}s)"
+        )
+        self.endpoint = endpoint
+        self.retry_in = retry_in
+
+
+@dataclass
+class _Breaker:
+    """Per-endpoint circuit state: closed → open → half-open → closed."""
+
+    threshold: int
+    reset: float
+    failures: int = 0
+    opened_at: Optional[float] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def admit(self, endpoint: str) -> None:
+        """Raise :class:`CircuitOpenError` while the circuit is open.
+
+        After ``reset`` seconds the next caller is admitted as the
+        half-open probe (the breaker stays open for everyone else until
+        that probe reports success).
+        """
+        with self.lock:
+            if self.opened_at is None:
+                return
+            elapsed = time.monotonic() - self.opened_at
+            if elapsed < self.reset:
+                raise CircuitOpenError(endpoint, self.reset - elapsed)
+            # half-open: admit this probe, push the next window out so
+            # concurrent callers keep failing fast until the probe lands
+            self.opened_at = time.monotonic()
+
+    def record(self, ok: bool) -> None:
+        with self.lock:
+            if ok:
+                self.failures = 0
+                self.opened_at = None
+            else:
+                self.failures += 1
+                if self.failures >= self.threshold:
+                    self.opened_at = time.monotonic()
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds encoded by a ``Retry-After`` header, or ``None``.
+
+    Accepts both forms of RFC 9110 §10.2.3: delta-seconds (``"5"``) and
+    the HTTP-date (``"Fri, 08 Aug 2026 12:00:00 GMT"``); a date in the
+    past clamps to zero, garbage parses to ``None``.
+    """
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        pass
+    try:
+        when = parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when.tzinfo is None:
+        from datetime import timezone
+
+        when = when.replace(tzinfo=timezone.utc)
+    from datetime import datetime, timezone
+
+    return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
 
 
 def _parse_error_body(error: urllib.error.HTTPError) -> tuple[str, str, bool]:
@@ -125,6 +233,16 @@ class Client:
     errors such as a connection reset mid-restart) are retried, after an
     exponential backoff starting at ``backoff`` seconds — or after the
     server's ``Retry-After`` hint when one is sent and is larger.
+    ``retry_budget`` caps the *total* wall-clock a single logical call may
+    spend waiting between attempts (``None``: uncapped).
+
+    ``breaker_threshold`` consecutive *exhausted* calls (retries included)
+    against one endpoint trip its circuit breaker: further calls raise
+    :class:`CircuitOpenError` instantly until a half-open probe succeeds
+    after ``breaker_reset`` seconds.  ``breaker_threshold=0`` disables the
+    breaker.  ``hedge_delay`` (seconds, ``None``: off) arms hedged reads
+    for GET endpoints: a second concurrent attempt is fired when the first
+    has not answered in time, and the first response wins.
     """
 
     def __init__(
@@ -133,11 +251,23 @@ class Client:
         timeout: float = 300.0,
         retries: int = 3,
         backoff: float = 0.25,
+        retry_budget: Optional[float] = None,
+        breaker_threshold: int = 0,
+        breaker_reset: float = 5.0,
+        hedge_delay: Optional[float] = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.retry_budget = retry_budget
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.hedge_delay = hedge_delay
+        self._breakers: dict[str, _Breaker] = {}
+        self._breakers_lock = threading.Lock()
+        #: hedged attempts actually fired (telemetry for the bench/tests)
+        self.hedges = 0
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -156,36 +286,99 @@ class Client:
                 payload = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             code, message, retryable = _parse_error_body(error)
-            retry_after: Optional[float] = None
             hint = error.headers.get("Retry-After") if error.headers else None
-            if hint:
-                try:
-                    retry_after = float(hint)
-                except ValueError:
-                    pass
             raise ClientError(
                 error.code, message, code=code, retryable=retryable,
-                retry_after=retry_after,
+                retry_after=parse_retry_after(hint),
             ) from error
         return payload
 
+    def _attempt(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        """One attempt, hedged for idempotent GETs when ``hedge_delay`` is set."""
+        if self.hedge_delay is None or method != "GET":
+            return self._request_once(method, path, body)
+        import queue
+
+        results: "queue.Queue[tuple[bool, object]]" = queue.Queue()
+
+        def _run() -> None:
+            try:
+                results.put((True, self._request_once(method, path, body)))
+            except Exception as error:  # noqa: BLE001 — relayed to the caller
+                results.put((False, error))
+
+        threading.Thread(target=_run, daemon=True).start()
+        try:
+            ok, value = results.get(timeout=self.hedge_delay)
+        except queue.Empty:
+            # primary is slow: race a hedge; the first answer wins, and a
+            # failed first answer falls back to the other one
+            self.hedges += 1
+            threading.Thread(target=_run, daemon=True).start()
+            ok, value = results.get(timeout=self.timeout + self.hedge_delay)
+            if not ok:
+                ok, value = results.get(timeout=self.timeout + self.hedge_delay)
+        if ok:
+            return value  # type: ignore[return-value]
+        raise value  # type: ignore[misc]
+
+    def _breaker_for(self, path: str) -> Optional[_Breaker]:
+        if not self.breaker_threshold:
+            return None
+        with self._breakers_lock:
+            breaker = self._breakers.get(path)
+            if breaker is None:
+                breaker = _Breaker(self.breaker_threshold, self.breaker_reset)
+                self._breakers[path] = breaker
+            return breaker
+
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        breaker = self._breaker_for(path)
+        if breaker is not None:
+            breaker.admit(path)
+        try:
+            result = self._retry_loop(method, path, body)
+        except (ClientError, *TRANSPORT_ERRORS) as error:
+            # only failures that exhausted their retries reach here; a 4xx
+            # the server calls non-retryable is the caller's bug, not the
+            # endpoint's health, and must not trip the breaker
+            if breaker is not None:
+                retryable = not isinstance(error, ClientError) or error.retryable
+                if retryable:
+                    breaker.record(ok=False)
+            raise
+        if breaker is not None:
+            breaker.record(ok=True)
+        return result
+
+    def _retry_loop(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         attempt = 0
+        started = time.monotonic()
         while True:
             attempt += 1
             try:
-                return self._request_once(method, path, body)
+                return self._attempt(method, path, body)
             except ClientError as error:
                 if not error.retryable or attempt > self.retries:
                     raise
                 delay = self.backoff * 2.0 ** (attempt - 1)
                 if error.retry_after is not None:
                     delay = max(delay, error.retry_after)
-            except urllib.error.URLError:
-                # connection refused/reset — e.g. the daemon restarting
+                last_error: BaseException = error
+            except TRANSPORT_ERRORS as error:
+                # connection refused/reset, a worker killed mid-response,
+                # the daemon restarting — the fleet contract is that a
+                # retry lands on a healthy sibling
                 if attempt > self.retries:
                     raise
                 delay = self.backoff * 2.0 ** (attempt - 1)
+                last_error = error
+            if self.retry_budget is not None:
+                elapsed = time.monotonic() - started
+                if elapsed + delay > self.retry_budget:
+                    # the budget is spent: surface the last failure now
+                    # instead of sleeping past the caller's patience
+                    raise last_error
             time.sleep(delay)
 
     # ------------------------------------------------------------------ #

@@ -13,12 +13,18 @@ Event kinds
 
 * ``stage`` — one pipeline stage resolved for one spec.  ``status`` tells
   how: ``computed`` (an actual stage computation), ``memory`` (in-process
-  cache hit) or ``store`` (on-disk artifact store hit).
+  cache hit), ``store`` (on-disk artifact store hit) or ``coalesced``
+  (served by waiting on another in-flight computation of the same key —
+  the fleet's single-flight path).
 * ``job`` — one scheduler job changed state: ``start``, ``done``,
   ``retry`` (a retryable failure or timeout, about to run again),
   ``timeout``, or ``error``; ``index``/``total`` carry batch progress,
   ``attempt`` the 1-based execution attempt, ``detail`` a short
   human-readable summary (literal count, error text, backoff delay).
+* ``worker`` — the fleet supervisor changed one worker slot: ``spawn``,
+  ``respawn`` (crashed or hung, replaced) or ``recycle`` (served its
+  ``max_requests`` budget, replaced); ``index`` is the slot, ``attempt``
+  the new generation, ``detail`` the human-readable cause.
 
 Consumers
 ---------
@@ -46,9 +52,11 @@ EventCallback = Callable[["Event"], None]
 class Event:
     """One structured progress record."""
 
-    kind: str  # "stage" | "job"
+    kind: str  # "stage" | "job" | "worker"
     spec: str
-    status: str  # stage: computed|memory|store — job: start|done|retry|timeout|error
+    # stage: computed|memory|store|coalesced — job: start|done|retry|timeout|
+    # error — worker: spawn|respawn|recycle
+    status: str
     stage: Optional[str] = None  # analyze|refine|synthesize|map|verify|verify_mapped
     seconds: Optional[float] = None
     index: Optional[int] = None  # 1-based position within a batch

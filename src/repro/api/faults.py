@@ -36,8 +36,9 @@ A fault spec is a ``;``-separated list of clauses::
     seed=7 ; site[@scope] = rate [xLIMIT] [~SECONDS]
 
 * ``rate``    — probability per opportunity (``1`` fires always);
-* ``@scope``  — restricts the rule to one stage name (``stage.*`` sites) or
-  one spec name (``worker.kill``);
+* ``@scope``  — restricts the rule to one stage name (``stage.*`` sites), one
+  spec name (``worker.kill`` in the scheduler pool), or one endpoint name
+  (``worker.kill`` in the serving fleet, e.g. ``@synthesize``);
 * ``xLIMIT``  — budget: at most ``LIMIT`` firings (for token-driven sites
   such as ``worker.kill``, fire only while the attempt number is ≤ LIMIT);
 * ``~SECONDS`` — the injected latency (``stage.delay`` only).
@@ -204,6 +205,17 @@ class FaultInjector:
     def bind(self, token: int, salt: str = "") -> "FaultInjector":
         """A fresh injector whose decisions are keyed on ``token``."""
         return FaultInjector(self.rules, seed=self.seed, token=token, salt=salt)
+
+    def scoped(self, salt: str) -> "FaultInjector":
+        """A fresh *counter-mode* injector diversified by ``salt``.
+
+        Fleet workers use this with their ``worker<slot>g<generation>``
+        identity: every incarnation replays its own deterministic schedule
+        from the shared seed, but a respawned worker does not repeat its
+        predecessor's decisions — a ``worker.kill`` rule would otherwise
+        kill every generation at the same opportunity, forever.
+        """
+        return FaultInjector(self.rules, seed=self.seed, token=self.token, salt=salt)
 
     # ------------------------------------------------------------------ #
     # Decisions

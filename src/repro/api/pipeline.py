@@ -125,7 +125,7 @@ class Pipeline:
     ``stage_calls`` computation counters.
 
     ``on_event`` receives one :class:`~repro.api.events.Event` per stage
-    resolution (status ``computed``/``memory``/``store``).
+    resolution (status ``computed``/``memory``/``store``/``coalesced``).
 
     ``faults`` activates deterministic fault injection
     (:mod:`repro.api.faults`): an injector instance, a grammar string, or
@@ -133,6 +133,16 @@ class Pipeline:
     shared with the attached store (its read/write/corrupt sites) and the
     stage computations (delay/error sites); when off — the default — the
     hot path pays a single ``is None`` check.
+
+    ``flights`` attaches a :class:`~repro.api.fleet.SingleFlight` coalescer
+    (requires a store): after a store miss, concurrent requests for the
+    same stage key — threads of this process or sibling fleet workers
+    sharing the store — elect one *leader* that computes and persists the
+    artifact while the others wait on the store entry instead of repeating
+    the computation.  A follower that is served this way emits a
+    ``coalesced`` stage event and counts in ``coalesced``; if the leader
+    dies or the wait deadline passes, the follower degrades to computing
+    locally — coalescing is an optimization, never a correctness gate.
     """
 
     STAGES = ("analyze", "refine", "synthesize", "map", "verify", "verify_mapped")
@@ -143,6 +153,7 @@ class Pipeline:
         store: Union[ArtifactStore, str, os.PathLike, None] = None,
         on_event: Optional[EventCallback] = None,
         faults: FaultsLike = None,
+        flights=None,
     ):
         self._cache: Optional[dict] = {} if cache else None
         self.store: Optional[ArtifactStore] = get_store(store)
@@ -150,11 +161,15 @@ class Pipeline:
         self.faults = get_injector(faults)
         if self.faults is not None and self.store is not None and self.store.faults is None:
             self.store.faults = self.faults
+        self.flights = flights
         #: number of actual stage computations (cache misses), per stage
         self.stage_calls: Counter = Counter()
         #: per-stage on-disk store outcomes (only touched when a store is set)
         self.store_hits: Counter = Counter()
         self.store_misses: Counter = Counter()
+        #: per-stage computations avoided by waiting on another in-flight
+        #: computation of the same key (thread- or fleet-wide)
+        self.coalesced: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
@@ -185,21 +200,60 @@ class Pipeline:
                     self._emit(spec, stage, "memory")
                 return value
         if self.store is not None and artifact_cls is not None:
-            data = self.store.get(key)
-            if data is not None:
-                try:
-                    value = artifact_cls.from_json(data)
-                except (ValueError, KeyError, TypeError):
-                    # a malformed entry degrades to recomputation
-                    value = None
-                if value is not None:
-                    self.store_hits[stage] += 1
-                    if self._cache is not None:
-                        self._cache[key] = value
-                    if spec is not None:
-                        self._emit(spec, stage, "store")
-                    return value
+            value = self._from_document(key, self.store.get(key), artifact_cls)
+            if value is not None:
+                self.store_hits[stage] += 1
+                if spec is not None:
+                    self._emit(spec, stage, "store")
+                return value
             self.store_misses[stage] += 1
+            if self.flights is not None:
+                return self._memo_flight(key, compute, spec, artifact_cls)
+        return self._compute_entry(key, compute, spec, artifact_cls)
+
+    def _from_document(self, key: tuple, data, artifact_cls):
+        """Parse a store document into a cached artifact (``None`` on damage)."""
+        if data is None:
+            return None
+        try:
+            value = artifact_cls.from_json(data)
+        except (ValueError, KeyError, TypeError):
+            # a malformed entry degrades to recomputation
+            return None
+        if self._cache is not None:
+            self._cache[key] = value
+        return value
+
+    def _memo_flight(self, key: tuple, compute, spec, artifact_cls):
+        """Single-flight resolution of a store miss (fleet-wide coalescing).
+
+        Elect a leader over the store's content address: the leader computes
+        and persists as usual; followers wait for the leader's store write
+        and parse it instead of repeating the computation.  A follower whose
+        leader vanishes (crash, timeout) computes locally — degraded, never
+        wrong.
+        """
+        stage = key[0]
+        digest = self.store.digest_of(key)
+        if self.flights.acquire(digest):
+            try:
+                return self._compute_entry(key, compute, spec, artifact_cls)
+            finally:
+                self.flights.release(digest)
+        start = time.perf_counter()
+        document = self.flights.wait(digest, lambda: self.store.peek(key))
+        value = self._from_document(key, document, artifact_cls)
+        if value is not None:
+            self.coalesced[stage] += 1
+            self.store_hits[stage] += 1
+            if spec is not None:
+                self._emit(spec, stage, "coalesced", seconds=time.perf_counter() - start)
+            return value
+        return self._compute_entry(key, compute, spec, artifact_cls)
+
+    def _compute_entry(self, key: tuple, compute, spec, artifact_cls):
+        """Actually run one stage computation, cache and persist the result."""
+        stage = key[0]
         start = time.perf_counter()
         if self.faults is not None:
             # injected latency and/or a retryable InjectedStageError —
@@ -263,6 +317,7 @@ class Pipeline:
         self.stage_calls.clear()
         self.store_hits.clear()
         self.store_misses.clear()
+        self.coalesced.clear()
 
     # ------------------------------------------------------------------ #
     # Stage: analyze

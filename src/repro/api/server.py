@@ -53,10 +53,12 @@ Python.
 from __future__ import annotations
 
 import json
+import os
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.api.backends import compare
 from repro.api.events import fanout
@@ -145,6 +147,16 @@ class SynthesisService:
     with :class:`ServerOverloadedError`.  ``request_timeout`` bounds how
     long an admitted request waits for the service lock before it is shed
     with :class:`RequestDeadlineError` (``None`` waits indefinitely).
+
+    Fleet-mode knobs (PR 9): ``worker_id`` tags ``/health`` and every
+    response's ``X-Repro-Worker`` header with the worker's ``slot.gen``
+    identity; ``max_requests`` arms the recycle budget — after that many
+    locked requests the ``on_recycle`` callback fires once and the worker's
+    main loop drains and exits with :data:`~repro.api.fleet.EXIT_RECYCLED`;
+    ``chaos`` wires the deterministic ``worker.kill`` fault site into the
+    dispatch path (scoped by endpoint name); ``ready_ttl`` caches the
+    store's readiness probe so a polling load balancer does not hit the
+    filesystem on every ``/ready``.
     """
 
     def __init__(
@@ -154,6 +166,11 @@ class SynthesisService:
         max_cached_artifacts: int = 1024,
         max_queue: int = 8,
         request_timeout: Optional[float] = None,
+        worker_id: Optional[str] = None,
+        max_requests: Optional[int] = None,
+        on_recycle: Optional[Callable[[], None]] = None,
+        chaos=None,
+        ready_ttl: float = 1.0,
     ):
         if pipeline is None:
             pipeline = Pipeline(store=store)
@@ -161,13 +178,22 @@ class SynthesisService:
         self.max_cached_artifacts = max_cached_artifacts
         self.max_queue = max_queue
         self.request_timeout = request_timeout
+        self.worker_id = worker_id
+        self.max_requests = max_requests
+        self.on_recycle = on_recycle
+        self.chaos = chaos
+        self.ready_ttl = ready_ttl
+        self.draining = False  # set on SIGTERM/recycle: /ready goes red
         self.lock = threading.Lock()
         self._admission = threading.Lock()  # guards the two counters below
         self.waiting = 0  # locked requests in flight (running + queued)
         self.shed = 0  # requests rejected by overload or deadline
         self.started = time.time()
         self.requests = 0
+        self.locked_requests = 0  # served locked requests (recycle budget)
         self.evictions = 0
+        self._recycled = False
+        self._probe_cache: Optional[tuple[float, bool, Optional[str]]] = None
         self._events: list = []
         self._in_request = False
         # compose with (not replace) any callback the caller's pipeline carries
@@ -197,7 +223,7 @@ class SynthesisService:
             self.evictions += 1
 
     def _resolution(self) -> dict:
-        counts = {"computed": 0, "memory": 0, "store": 0}
+        counts = {"computed": 0, "memory": 0, "store": 0, "coalesced": 0}
         stages = []
         for event in self._events:
             counts[event.status] = counts.get(event.status, 0) + 1
@@ -280,11 +306,21 @@ class SynthesisService:
             "stage_calls": dict(self.pipeline.stage_calls),
             "store_hits": dict(self.pipeline.store_hits),
             "store_misses": dict(self.pipeline.store_misses),
+            "coalesced": dict(self.pipeline.coalesced),
             "memory_entries": self.pipeline.cache_info(),
             "evictions": self.evictions,
             "requests": self.requests,
             "uptime_seconds": time.time() - self.started,
         }
+        if self.worker_id is not None:
+            stats["worker"] = self.worker_id
+        flights = getattr(self.pipeline, "flights", None)
+        if flights is not None:
+            stats["flights"] = {
+                "led": flights.led,
+                "followed": flights.followed,
+                "degraded": flights.degraded,
+            }
         if self.pipeline.store is not None:
             stats["store"] = self.pipeline.store.stats()
         return stats
@@ -303,33 +339,60 @@ class SynthesisService:
         goes red — the split orchestrators expect."""
         from repro.api.store import CODE_VERSION
 
-        return {
+        payload = {
             "status": "ok",
             "uptime_seconds": time.time() - self.started,
             "requests": self.requests,
             "code_version": CODE_VERSION,
             "store": str(self.pipeline.store.root) if self.pipeline.store else None,
+            "pid": os.getpid(),
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return payload
+
+    def _probe_store(self) -> tuple[bool, Optional[str]]:
+        """``store.probe()`` behind a short TTL cache.
+
+        Readiness is polled (load balancers, orchestration loops, the fleet
+        bench) at rates far above how fast a store goes bad; caching the
+        filesystem probe for ``ready_ttl`` seconds keeps ``/ready`` cheap
+        without meaningfully delaying the red flag.  A negative result is
+        cached too — a dead mount also should not be stat-hammered.
+        """
+        store = self.pipeline.store
+        if store is None:
+            return True, None
+        now = time.monotonic()
+        cached = self._probe_cache
+        if cached is not None and now - cached[0] < self.ready_ttl:
+            return cached[1], cached[2]
+        reason = None
+        try:
+            store_ok = store.probe()
+        except OSError as error:
+            store_ok = False
+            reason = f"store probe failed: {error}"
+        else:
+            if not store_ok:
+                reason = f"store root not writable: {store.root}"
+        self._probe_cache = (now, store_ok, reason)
+        return store_ok, reason
 
     def ready(self, body: Optional[dict] = None) -> dict:
         """Readiness: can this server *usefully* take traffic right now?
 
-        Probes the artifact store (layout creatable and writable) and
-        reports the admission queue.  ``ready: false`` travels as HTTP 503
-        so load balancers drain the instance without killing it.
+        Probes the artifact store (layout creatable and writable, cached
+        for ``ready_ttl`` seconds) and reports the admission queue.  A
+        draining worker reports not-ready immediately.  ``ready: false``
+        travels as HTTP 503 so load balancers drain the instance without
+        killing it.
         """
         store = self.pipeline.store
-        store_ok = True
-        reason = None
-        if store is not None:
-            try:
-                store_ok = store.probe()
-            except OSError as error:
-                store_ok = False
-                reason = f"store probe failed: {error}"
-            else:
-                if not store_ok:
-                    reason = f"store root not writable: {store.root}"
+        store_ok, reason = self._probe_store()
+        if self.draining:
+            store_ok = False
+            reason = "draining"
         payload = {
             "ready": store_ok,
             "store": str(store.root) if store is not None else None,
@@ -337,6 +400,8 @@ class SynthesisService:
             "max_queue": self.max_queue,
             "shed": self.shed,
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
         if reason is not None:
             payload["reason"] = reason
         return payload
@@ -389,6 +454,13 @@ class SynthesisService:
         if name in self.LOCK_FREE:
             self.requests += 1
             return getattr(self, name)(body)
+        if self.chaos is not None:
+            # the worker.kill fault site: one deterministic opportunity per
+            # admitted locked request, scoped by endpoint name — the probe
+            # endpoints stay exempt so supervision itself is never the
+            # trigger.  When a rule fires the process hard-exits mid-request
+            # and the supervisor + client retries absorb the loss.
+            self.chaos.kill_worker(scope=name)
         self._admit()
         try:
             timeout = self.request_timeout if self.request_timeout is not None else -1
@@ -409,11 +481,28 @@ class SynthesisService:
                 finally:
                     self._in_request = False
                     self._maybe_evict()
+                    self._consume_budget()
             finally:
                 self.lock.release()
         finally:
             with self._admission:
                 self.waiting -= 1
+
+    def _consume_budget(self) -> None:
+        """Count a served locked request against the recycle budget."""
+        self.locked_requests += 1
+        if (
+            self.max_requests is not None
+            and not self._recycled
+            and self.locked_requests >= self.max_requests
+        ):
+            # planned retirement: fire the recycle callback exactly once;
+            # the worker main loop drains and exits EXIT_RECYCLED, and the
+            # supervisor respawns a fresh generation
+            self._recycled = True
+            self.draining = True
+            if self.on_recycle is not None:
+                self.on_recycle()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -435,6 +524,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.service.worker_id is not None:
+            # which fleet worker answered (slot.generation) — the bench and
+            # the chaos tests use this to observe kernel load-balancing
+            self.send_header("X-Repro-Worker", self.service.worker_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -509,6 +602,35 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle("POST")
 
 
+class FleetHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that can share its port via SO_REUSEPORT.
+
+    Fleet workers all bind the same ``(host, port)``; the kernel then
+    load-balances incoming connections across their accept queues.  The
+    flag is set between socket creation and bind (``server_bind``), which
+    is why this is a subclass rather than a post-hoc ``setsockopt``.
+    """
+
+    #: set by :func:`create_server` before binding
+    reuse_port = False
+
+    #: ``ThreadingHTTPServer`` marks handler threads as daemons, and the
+    #: mixin's ``_Threads`` registry silently *skips* daemon threads — so
+    #: ``server_close()`` would join nothing and a drain could drop an
+    #: in-flight response on the floor.  Non-daemon handler threads make
+    #: ``server_close()`` the drain barrier the fleet contract needs
+    #: (connections are one-shot HTTP/1.0 exchanges, so joins are bounded
+    #: by request time, never by an idle keep-alive).
+    daemon_threads = False
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not supported on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
 def create_server(
     host: str = "127.0.0.1",
     port: int = 8765,
@@ -517,21 +639,35 @@ def create_server(
     verbose: bool = False,
     max_queue: int = 8,
     request_timeout: Optional[float] = None,
+    reuse_port: bool = False,
+    worker_id: Optional[str] = None,
+    max_requests: Optional[int] = None,
+    on_recycle=None,
+    chaos=None,
+    ready_ttl: float = 1.0,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-serve (but not yet serving) HTTP server.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address[1]``.  The in-process tests and the CI smoke
-    job drive the returned server from a background thread.
+    job drive the returned server from a background thread.  The fleet
+    knobs (``reuse_port`` through ``ready_ttl``) are documented on
+    :class:`SynthesisService`; single-process callers never pass them.
     """
     service = SynthesisService(
         store=store,
         pipeline=pipeline,
         max_queue=max_queue,
         request_timeout=request_timeout,
+        worker_id=worker_id,
+        max_requests=max_requests,
+        on_recycle=on_recycle,
+        chaos=chaos,
+        ready_ttl=ready_ttl,
     )
     handler = type("_BoundHandler", (_Handler,), {"service": service})
-    server = ThreadingHTTPServer((host, port), handler)
+    server_cls = type("_BoundServer", (FleetHTTPServer,), {"reuse_port": reuse_port})
+    server = server_cls((host, port), handler)
     server.verbose = verbose
     server.service = service  # type: ignore[attr-defined]
     return server

@@ -32,6 +32,12 @@ durability mode for stores that must survive power loss, not just process
 death.  Deterministic fault injection (:mod:`repro.api.faults`) hooks the
 read, write and corruption paths so all of this is testable on demand.
 
+Hot tier (PR 9): ``lru_size=N`` adds a bounded in-memory LRU of artifact
+documents *above* the disk tier, so a serving worker's hottest digests skip
+the open/parse cost entirely; ``peek()`` is the uncounted, fault-free read
+the fleet's single-flight followers poll, and ``flight_dir`` holds the
+cross-process coalescing locks (stale ones are removed by ``sweep()``).
+
 The default location is ``~/.cache/repro`` (or ``$REPRO_STORE``); every API
 entry point accepts an explicit path instead.
 """
@@ -43,7 +49,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
@@ -108,6 +116,12 @@ class ArtifactStore:
         Optional :class:`~repro.api.faults.FaultInjector` driving the
         ``store.read``/``store.write``/``store.corrupt`` injection points
         (``None`` — the default — costs one attribute check per call).
+    lru_size:
+        Hot tier: keep up to this many artifact documents in a bounded
+        in-memory LRU keyed on the content digest, so repeated reads of a
+        hot digest skip the filesystem entirely.  ``0`` (the default)
+        disables the tier — batch and test workloads keep the exact
+        disk-level semantics, serving workers opt in.
     """
 
     def __init__(
@@ -116,6 +130,7 @@ class ArtifactStore:
         code_version: str = CODE_VERSION,
         fsync: Optional[bool] = None,
         faults=None,
+        lru_size: int = 0,
     ):
         self.root = Path(root).expanduser() if root is not None else default_store_path()
         self.code_version = code_version
@@ -133,6 +148,11 @@ class ArtifactStore:
         self.quarantined = 0
         #: orphaned temp files this handle swept
         self.tmp_swept = 0
+        #: hot-tier configuration and counters (PR 9)
+        self.lru_size = max(0, int(lru_size))
+        self.lru_hits = 0
+        self._lru: "OrderedDict[str, dict]" = OrderedDict()
+        self._lru_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -150,6 +170,34 @@ class ArtifactStore:
     def quarantine_dir(self) -> Path:
         return self.root / f"v{LAYOUT_VERSION}" / "quarantine"
 
+    @property
+    def flight_dir(self) -> Path:
+        """Cross-process single-flight locks (one file per in-flight digest)."""
+        return self.root / f"v{LAYOUT_VERSION}" / "flight"
+
+    # ------------------------------------------------------------------ #
+    # Hot tier
+    # ------------------------------------------------------------------ #
+
+    def _lru_get(self, digest: str) -> Optional[dict]:
+        if not self.lru_size:
+            return None
+        with self._lru_lock:
+            artifact = self._lru.get(digest)
+            if artifact is not None:
+                self._lru.move_to_end(digest)
+                self.lru_hits += 1
+            return artifact
+
+    def _lru_insert(self, digest: str, artifact: dict) -> None:
+        if not self.lru_size:
+            return
+        with self._lru_lock:
+            self._lru[digest] = artifact
+            self._lru.move_to_end(digest)
+            while len(self._lru) > self.lru_size:
+                self._lru.popitem(last=False)
+
     # ------------------------------------------------------------------ #
     # Read / write
     # ------------------------------------------------------------------ #
@@ -162,7 +210,12 @@ class ArtifactStore:
         re-read and re-failed forever.  Injected or real read IO errors are
         plain misses (the file, if any, is left alone).
         """
-        path = self.path_of(self.digest_of(key))
+        digest = self.digest_of(key)
+        hot = self._lru_get(digest)
+        if hot is not None:
+            self.hits += 1
+            return hot
+        path = self.path_of(digest)
         try:
             if self.faults is not None:
                 self.faults.raise_io("store.read")
@@ -186,6 +239,32 @@ class ArtifactStore:
             self.misses += 1
             return None
         self.hits += 1
+        self._lru_insert(digest, envelope["artifact"])
+        return envelope["artifact"]
+
+    def peek(self, key: object) -> Optional[dict]:
+        """An *uncounted*, fault-free read of ``key`` (or ``None``).
+
+        The single-flight follower poll loop uses this: polling must not
+        inflate the hit/miss counters, fire injected ``store.read`` faults,
+        or quarantine anything — a follower only wants to know whether the
+        leader's write has landed yet.
+        """
+        digest = self.digest_of(key)
+        hot = self._lru_get(digest)
+        if hot is not None:
+            return hot
+        try:
+            with open(self.path_of(digest), "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("code_version") != self.code_version
+            or "artifact" not in envelope
+        ):
+            return None
         return envelope["artifact"]
 
     def quarantine(self, path: Path, reason: str) -> bool:
@@ -265,6 +344,10 @@ class ArtifactStore:
                 pass
             raise
         self.writes += 1
+        if text.endswith("}"):
+            # a fault-corrupted (truncated) write must not land in the hot
+            # tier: the read path's quarantine logic is what it exercises
+            self._lru_insert(digest, artifact)
         return path
 
     @staticmethod
@@ -373,6 +456,9 @@ class ArtifactStore:
                 "writes": self.writes,
                 "quarantined": self.quarantined,
                 "tmp_swept": self.tmp_swept,
+                "lru_hits": self.lru_hits,
+                "lru_entries": len(self._lru),
+                "lru_size": self.lru_size,
             },
         }
 
@@ -396,11 +482,24 @@ class ArtifactStore:
 
         Removes every ``*.tmp`` orphan older than ``tmp_older_than``
         seconds (default: all of them — callers invoke ``sweep`` when no
-        writer is live) and quarantines entries stamped by a different code
-        version (they can never be read again: the digest embeds the
-        stamp).  Returns the counts.
+        writer is live), removes single-flight locks of the same age (a
+        worker killed mid-computation leaves its coalescing lock behind),
+        and quarantines entries stamped by a different code version (they
+        can never be read again: the digest embeds the stamp).  Returns the
+        counts.
         """
         tmp_removed = self._sweep_tmp(tmp_older_than)
+        flight_removed = 0
+        if self.flight_dir.is_dir():
+            now = time.time()
+            for path in list(self.flight_dir.glob("*.flight")):
+                try:
+                    if now - path.stat().st_mtime < tmp_older_than:
+                        continue
+                    path.unlink()
+                except OSError:
+                    continue
+                flight_removed += 1
         stale_quarantined = 0
         for path in list(self._entry_paths()):
             try:
@@ -418,7 +517,11 @@ class ArtifactStore:
             ):
                 if self.quarantine(path, "stale code version"):
                     stale_quarantined += 1
-        return {"tmp_removed": tmp_removed, "stale_quarantined": stale_quarantined}
+        return {
+            "tmp_removed": tmp_removed,
+            "stale_quarantined": stale_quarantined,
+            "flight_removed": flight_removed,
+        }
 
     def probe(self) -> bool:
         """Readiness check: the layout directory exists (or can) and is
@@ -441,6 +544,8 @@ class ArtifactStore:
         ``os.replace``.
         """
         removed = 0
+        with self._lru_lock:
+            self._lru.clear()
         for path in list(self._entry_paths()):
             if spec_pattern is not None:
                 try:

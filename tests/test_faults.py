@@ -402,6 +402,97 @@ class TestPoolChaos:
         assert len(cancelled) + len(drained) + 1 <= len(names)
 
 
+class TestDeadlineCrashRace:
+    """The deadline × retry interplay when a pool crash races a timeout.
+
+    Two invariants the crash-recovery path must hold: a resubmitted
+    attempt runs against a *fresh* deadline (the dead attempt's deadline
+    died with its future — the clock does not keep ticking across the
+    respawn), and a job quarantined as poison is terminal (no later crash,
+    deadline or retry may resubmit it or touch its attempt count again).
+    """
+
+    def test_crash_resubmission_resets_the_deadline_clock(self):
+        # topology: a 2-worker pool runs the victim (slow: 1.0s injected
+        # verify delay, 1.3s deadline) next to a 0.6s filler; the killer is
+        # *queued*, so its attempt-1 kill lands ~0.65s in — mid-victim.
+        # The victim's attempt 2 then runs entirely *after* its original
+        # t0+1.3s deadline has passed; only a per-submission deadline
+        # lets it finish.  A stale clock would fire a spurious timeout,
+        # burn an attempt and emit timeout/retry events.
+        log = EventLog()
+        scheduler = Scheduler(
+            jobs=2,
+            on_event=log,
+            retry=FAST_RETRY,
+            faults=(
+                "worker.kill@sequencer=1x1;"
+                "stage.delay@verify=1~1.0;stage.delay@map=1~0.6"
+            ),
+        )
+        victim = make_jobs(["handshake_seq"], OPTIONS, verify=True, timeout=1.3)
+        filler = make_jobs(["glatch_3"], OPTIONS, map_technology=True)
+        killer = make_jobs(["sequencer"], OPTIONS)
+        results = list(scheduler.iter_results(victim + filler + killer))
+        by_name = {r.job.spec.name: r for r in results}
+        assert all(r.ok for r in results), [
+            f"{r.job.spec.name}: {r.error}" for r in results if not r.ok
+        ]
+        struck = by_name["handshake_seq"]
+        # exactly one resubmission — the crash did not double-count
+        assert struck.attempts == 2
+        assert by_name["sequencer"].attempts == 2
+        assert by_name["glatch_3"].attempts == 1
+        # the victim's total wall clock exceeded its 1.3s deadline, yet no
+        # timeout fired: the deadline is per-attempt, not per-job
+        assert struck.seconds > 1.3
+        statuses = [event.status for event in log.of_kind("job")]
+        assert "timeout" not in statuses
+        assert "retry" not in statuses  # crash resubmission is silent
+        victim_events = [
+            event for event in log.of_kind("job") if event.spec == "handshake_seq"
+        ]
+        assert [event.status for event in victim_events] == ["start", "done"]
+        assert victim_events[-1].attempt == 2
+
+    def test_poison_quarantine_is_terminal_across_later_crashes(self):
+        # sequencer kills every attempt (poison); handshake_seq kills only
+        # its first (innocent-looking accomplice); glatch_3 is bystander.
+        # Crash 1 exposes all three, crash 2 sends all three to isolation:
+        # the poison job's isolation crash quarantines it, and nothing —
+        # not the 30s deadline still armed, not the bystanders' later
+        # results — may resubmit it or emit further events for it.
+        log = EventLog()
+        scheduler = Scheduler(
+            jobs=2,
+            on_event=log,
+            retry=FAST_RETRY,
+            timeout=30.0,
+            faults="worker.kill@sequencer=1;worker.kill@handshake_seq=1x1",
+        )
+        jobs = make_jobs(["sequencer", "handshake_seq", "glatch_3"], OPTIONS)
+        results = list(scheduler.iter_results(jobs))
+        by_name = {r.job.spec.name: r for r in results}
+        poison = by_name["sequencer"]
+        assert isinstance(poison.error, PoisonJobError)
+        # initial + one crash resubmission + isolation: exactly 3 attempts
+        assert poison.attempts == 3
+        # the accomplice and the bystander ride the same two crashes into
+        # isolation and succeed there — attempts counted once per run
+        assert by_name["handshake_seq"].ok
+        assert by_name["handshake_seq"].attempts == 3
+        assert by_name["glatch_3"].ok
+        assert by_name["glatch_3"].attempts == 3
+        events = log.of_kind("job")
+        poison_statuses = [e.status for e in events if e.spec == "sequencer"]
+        assert poison_statuses == ["start", "error"]
+        # terminal: the error is the poison job's final event
+        last_poison = max(i for i, e in enumerate(events) if e.spec == "sequencer")
+        assert events[last_poison].status == "error"
+        # the armed deadlines died with their crashed futures
+        assert "timeout" not in [e.status for e in events]
+
+
 # ---------------------------------------------------------------------- #
 # Unsafe-net fallback under faults (satellite 4)
 # ---------------------------------------------------------------------- #
