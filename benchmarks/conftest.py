@@ -7,7 +7,7 @@ section; the resulting rows are printed so that running
 
 produces the reproduced tables alongside the timing numbers.  Bench modules
 also push their rows into the session-scoped ``perf_record`` fixture, which
-is persisted as ``BENCH_PR8.json`` at the repo root when the session ends —
+is persisted as ``BENCH_PR10.json`` at the repo root when the session ends —
 the machine-readable perf trajectory consumed by later PRs (``BENCH_PR1``
 recorded the bit-packed kernel; PR2 the cached-pipeline sweep of the
 unified API; PR3 gate-netlist construction and gate-level differential
@@ -17,7 +17,9 @@ verification; PR5 the durable-workspace batch throughput from
 the k-bounded packed reachability kernel from ``bench_corpus.py``; PR8 the
 exact SAT backend's encode/solve costs and the optimality-gap table from
 ``bench_sat.py``; PR9 the prefork serving fleet's saturation throughput,
-tail latency and thundering-herd coalescing from ``bench_fleet.py``).
+tail latency and thundering-herd coalescing from ``bench_fleet.py``; PR10
+the observability subsystem's serving-overhead budget from
+``bench_obs.py``).
 """
 
 from __future__ import annotations
@@ -86,18 +88,20 @@ _REQUIRED_SECTIONS = (
     "bounded_kernel",
     "sat",
     "fleet",
+    "obs",
 )
 
 
 @pytest.fixture(scope="session")
 def perf_record(request):
-    """Session-wide perf record, persisted as BENCH_PR9.json on teardown."""
+    """Session-wide perf record, persisted as BENCH_PR10.json on teardown."""
     record: dict = {
-        "pr": 9,
+        "pr": 10,
         "kernel": (
-            "repro.api.fleet: supervised prefork SO_REUSEPORT serving fleet "
-            "with fleet-wide single-flight coalescing, a hot-spec LRU store "
-            "tier, and chaos-proven zero-loss drain/respawn"
+            "repro.obs: end-to-end observability — cross-process distributed "
+            "tracing over X-Repro-Trace, an exactly-mergeable fleet metrics "
+            "registry with Prometheus /metrics exposition, and the repro top "
+            "dashboard — at near-zero serving overhead when off"
         ),
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -198,4 +202,11 @@ def perf_record(request):
                 "coalescing_hit_rate"
             ),
         }
-    write_perf_record(repo_root / "BENCH_PR9.json", record)
+    obs_results = record["results"].get("obs", {})
+    if obs_results:
+        record["observability_overhead"] = {
+            "off_req_per_s": obs_results.get("off_req_per_s"),
+            "on_req_per_s": obs_results.get("on_req_per_s"),
+            "on_over_off": obs_results.get("on_over_off"),
+        }
+    write_perf_record(repo_root / "BENCH_PR10.json", record)

@@ -38,6 +38,15 @@ coalesced to a single computation fleet-wide
 :class:`~repro.api.client.Client` grows a per-endpoint circuit breaker,
 hedged reads, and a retry wall-clock budget.
 
+Since PR 10 the system is *observable* end to end (:mod:`repro.obs`, the
+``obs=`` keyword, ``$REPRO_OBS``): spans propagate across process
+boundaries — client → fleet worker → pipeline stages → pool jobs → SAT
+descent phases — into per-process JSON-lines sinks stitched by trace id,
+a zero-dependency metrics registry (counters/gauges/histograms with fixed
+buckets, so cross-process merges are exact) feeds every worker's
+``GET /metrics`` and the supervisor's fleet-wide aggregation, and
+``repro top`` / ``repro trace`` render the live dashboard and span trees.
+
 Convenience entry points::
 
     from repro.api import run, compare, synthesize_many
@@ -97,6 +106,7 @@ from repro.api.scheduler import (
 )
 from repro.api.spec import Spec, SpecError, SpecLike
 from repro.api.store import ArtifactStore, default_store_path, get_store
+from repro.obs import Obs, get_obs
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
 
 
@@ -165,6 +175,7 @@ __all__ = [
     "MappedVerificationArtifact",
     "MappingArtifact",
     "NO_RETRY",
+    "Obs",
     "Pipeline",
     "PoisonJobError",
     "RefinementArtifact",
@@ -185,6 +196,7 @@ __all__ = [
     "default_store_path",
     "get_backend",
     "get_injector",
+    "get_obs",
     "get_store",
     "make_jobs",
     "progress_printer",

@@ -274,6 +274,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one progress line per prewarmed benchmark to stderr",
     )
+    cache.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="stats only: query a running server's /cache/stats instead of "
+        "opening the store locally (includes its coalescing counters)",
+    )
     _add_store_location(cache)
 
     serve = sub.add_parser(
@@ -344,7 +351,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection for fleet chaos runs, e.g. "
         "'seed=7;worker.kill@synthesize=0.05' (default $REPRO_FAULTS)",
     )
+    serve.add_argument(
+        "--obs",
+        nargs="?",
+        const="on",
+        default=None,
+        metavar="SPEC",
+        help="observability: bare --obs turns tracing+metrics on, or pass a "
+        "grammar like 'dir=/tmp/run;trace=off' (default $REPRO_OBS); "
+        "enables GET /metrics and per-process trace sinks",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="fleet run directory for heartbeats, trace sinks and metric "
+        "snapshots (default: a private tempdir; set one to use "
+        "'repro top --run-dir' and 'repro trace')",
+    )
     _add_store_location(serve)
+
+    trace = sub.add_parser(
+        "trace", help="inspect stitched distributed traces from a run dir"
+    )
+    trace.add_argument(
+        "action", choices=("show", "ls"), help="show one trace / list recent traces"
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", default=None, help="trace id (show only)"
+    )
+    trace.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        help="run directory holding the trace-*.jsonl sinks",
+    )
+    trace.add_argument("--json", action="store_true", help="emit span records as JSON")
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard over /metrics or a fleet run dir"
+    )
+    top.add_argument(
+        "--url", default=None, help="server base URL to scrape (e.g. http://127.0.0.1:8765)"
+    )
+    top.add_argument(
+        "--run-dir", default=None, help="fleet run directory to merge snapshots from"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between samples"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="sample N times then exit (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="shorthand for --iterations 1"
+    )
+    top.add_argument(
+        "--json", action="store_true", help="emit one JSON document per sample"
+    )
 
     fuzz = sub.add_parser(
         "fuzz", help="generate corpus STGs and run the differential fuzzing farm"
@@ -632,23 +699,65 @@ def _cmd_cache(args) -> int:
         if args.pattern is not None:
             print("error: `cache stats` takes no pattern", file=sys.stderr)
             return 2
-        stats = store.stats()
-        if args.json:
-            print(json.dumps(stats, indent=2))
+        flights = None
+        if args.url is not None:
+            # a running server's view: its pipeline counters, its store
+            # handle's session numbers, and its single-flight telemetry
+            from repro.api.client import Client
+
+            remote = Client(args.url).cache_stats()
+            stats = remote.get("store") or {}
+            flights = remote.get("flights")
+            if not stats:
+                _emit(remote, args.json, f"{args.url}: no store attached")
+                return 0
+            if args.json:
+                print(json.dumps(remote, indent=2))
+                return 0
         else:
-            print(f"store: {stats['root']} (code version {stats['code_version']})")
+            stats = store.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+                return 0
+        session = stats.get("session", {})
+        print(f"store: {stats['root']} (code version {stats['code_version']})")
+        print(
+            f"  entries: {stats['entries']} "
+            f"({stats['stale_entries']} stale), {stats['bytes']} bytes"
+        )
+        for stage, count in stats["per_stage"].items():
+            print(f"  {stage}: {count}")
+        print(
+            f"  session: {session.get('hits', 0)} hits "
+            f"(+{session.get('lru_hits', 0)} hot-LRU), "
+            f"{session.get('misses', 0)} misses, "
+            f"{session.get('writes', 0)} writes"
+        )
+        print(
+            f"  hot LRU: {session.get('lru_entries', 0)}/"
+            f"{session.get('lru_size', 0)} entries"
+        )
+        if flights is not None:
             print(
-                f"  entries: {stats['entries']} "
-                f"({stats['stale_entries']} stale), {stats['bytes']} bytes"
+                f"  flights: {flights.get('led', 0)} led, "
+                f"{flights.get('followed', 0)} coalesced, "
+                f"{flights.get('degraded', 0)} degraded "
+                f"({stats.get('flight_locks', 0)} lock(s) on disk)"
             )
-            for stage, count in stats["per_stage"].items():
-                print(f"  {stage}: {count}")
-            if stats["quarantined_entries"] or stats["tmp_files"] or stats["tmp_swept"]:
-                print(
-                    f"  quarantined: {stats['quarantined_entries']}, "
-                    f"orphaned tmp: {stats['tmp_files']} "
-                    f"(swept {stats['tmp_swept']})"
-                )
+        elif stats.get("flight_locks"):
+            print(f"  flights: {stats['flight_locks']} lock(s) on disk")
+        if (
+            stats["quarantined_entries"]
+            or stats["tmp_files"]
+            or stats["tmp_swept"]
+            or session.get("quarantined")
+        ):
+            print(
+                f"  quarantined: {stats['quarantined_entries']} "
+                f"({session.get('quarantined', 0)} this session), "
+                f"orphaned tmp: {stats['tmp_files']} "
+                f"(swept {stats['tmp_swept']})"
+            )
         return 0
 
     if args.action == "sweep":
@@ -751,8 +860,18 @@ def _cmd_serve(args) -> int:
                 faults=faults,
                 verbose=args.verbose,
                 lru_size=args.hot_cache,
+                run_dir=args.run_dir,
+                obs=args.obs,
             )
         )
+    obs = args.obs
+    if obs is not None and args.run_dir is not None:
+        from repro.obs import Obs, get_obs
+
+        resolved = get_obs(obs) or Obs()
+        if resolved.dir is None:
+            resolved = resolved.reconfigure(dir=args.run_dir, service="server")
+        obs = resolved
     return run_server(
         host=args.host,
         port=args.port,
@@ -760,6 +879,53 @@ def _cmd_serve(args) -> int:
         verbose=args.verbose,
         max_queue=args.max_queue,
         request_timeout=args.request_timeout,
+        obs=obs,
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import list_traces, load_trace, render_trace
+
+    if args.action == "ls":
+        summaries = list_traces(args.dir)
+        if args.json:
+            print(json.dumps(summaries, indent=2))
+            return 0
+        if not summaries:
+            print(f"no traces under {args.dir}")
+            return 0
+        for summary in summaries:
+            print(
+                f"{summary['trace']}  {summary['spans']:3d} span(s)  "
+                f"{len(summary['services'])} service(s)  "
+                f"{summary['root'] or '?'}"
+            )
+        return 0
+    if not args.trace_id:
+        print("error: `trace show` needs a trace id (try `trace ls`)", file=sys.stderr)
+        return 2
+    records = load_trace(args.dir, args.trace_id)
+    if not records:
+        print(f"error: no spans for trace {args.trace_id!r} under {args.dir}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(render_trace(records))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    iterations = 1 if args.once else args.iterations
+    return run_top(
+        url=args.url,
+        run_dir=args.run_dir,
+        interval=args.interval,
+        iterations=iterations,
+        json_output=args.json,
     )
 
 
@@ -890,6 +1056,8 @@ _COMMANDS = {
     "gap": _cmd_gap,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "top": _cmd_top,
     "list": _cmd_list,
     "fuzz": _cmd_fuzz,
 }

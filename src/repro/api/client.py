@@ -66,6 +66,7 @@ TRANSPORT_ERRORS = (
 
 from repro.api.artifacts import Report
 from repro.api.spec import Spec, SpecLike
+from repro.obs import ObsLike, TRACE_HEADER, get_obs
 from repro.stg.stg import STG
 from repro.stg.writer import write_g
 
@@ -243,6 +244,12 @@ class Client:
     breaker.  ``hedge_delay`` (seconds, ``None``: off) arms hedged reads
     for GET endpoints: a second concurrent attempt is fired when the first
     has not answered in time, and the first response wins.
+
+    ``obs`` (an :class:`repro.obs.Obs`, a grammar string, or ``None`` to
+    consult ``$REPRO_OBS``) arms distributed tracing: every logical call
+    runs inside a ``client:`` span (covering all its retries) whose context
+    travels in the ``X-Repro-Trace`` header, so the server's spans stitch
+    under the client's in a cross-process trace.
     """
 
     def __init__(
@@ -255,6 +262,7 @@ class Client:
         breaker_threshold: int = 0,
         breaker_reset: float = 5.0,
         hedge_delay: Optional[float] = None,
+        obs: ObsLike = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -264,6 +272,7 @@ class Client:
         self.breaker_threshold = breaker_threshold
         self.breaker_reset = breaker_reset
         self.hedge_delay = hedge_delay
+        self.obs = get_obs(obs)
         self._breakers: dict[str, _Breaker] = {}
         self._breakers_lock = threading.Lock()
         #: hedged attempts actually fired (telemetry for the bench/tests)
@@ -277,6 +286,10 @@ class Client:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        if self.obs is not None:
+            context = self.obs.tracer.current()
+            if context is not None:
+                headers[TRACE_HEADER] = context.to_header()
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -333,6 +346,17 @@ class Client:
             return breaker
 
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        if self.obs is None:
+            return self._request_guarded(method, path, body)
+        # one span per *logical* call: retries and hedges are all children
+        # of the same client span, and its context rides every attempt's
+        # X-Repro-Trace header
+        with self.obs.tracer.span(f"client:{method} {path}"):
+            return self._request_guarded(method, path, body)
+
+    def _request_guarded(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
         breaker = self._breaker_for(path)
         if breaker is not None:
             breaker.admit(path)
@@ -430,6 +454,78 @@ class Client:
             resolution=payload.get("resolution", {}),
             raw=payload,
         )
+
+    def synthesize_many(
+        self,
+        specs: list,
+        level: int = 5,
+        backend: str = "structural",
+        assume_csc: bool = False,
+        map_technology: bool = False,
+        verify: bool = False,
+        verify_mapped: bool = False,
+        library: Optional[str] = None,
+        max_markings: Optional[int] = None,
+        jobs: Optional[int] = None,
+    ) -> list[SynthesisResult]:
+        """Synthesize a batch of specs in one ``/synthesize/batch`` request.
+
+        The server feeds the batch straight into its process-pool scheduler
+        (``jobs`` caps the pool width; ``None`` leaves it to the server).
+        Returns one :class:`SynthesisResult` per spec, in input order.  When
+        any item fails, raises :class:`ClientError` naming every failed
+        spec — the successes are on the exception as ``.results``.
+        """
+        body: dict = {
+            "items": [
+                {
+                    "spec": _spec_payload(spec),
+                    "level": level,
+                    "backend": backend,
+                    "assume_csc": assume_csc,
+                    "map": map_technology,
+                    "verify": verify,
+                    "verify_mapped": verify_mapped,
+                    "library": library,
+                    "max_markings": max_markings,
+                }
+                for spec in specs
+            ],
+        }
+        if jobs is not None:
+            body["jobs"] = jobs
+        payload = self._request("POST", "/synthesize/batch", body)
+        results: list[Optional[SynthesisResult]] = []
+        failures: list[str] = []
+        for entry in payload.get("results", []):
+            if entry.get("ok"):
+                results.append(
+                    SynthesisResult(
+                        # pool mode has no per-item resolution (the work
+                        # happened in a child process) — an empty dict
+                        # reads as "nothing known", not "nothing computed"
+                        resolution=entry.get("resolution") or {},
+                        report=Report.from_json(entry["report"]),
+                        raw=entry,
+                    )
+                )
+            else:
+                results.append(None)
+                detail = entry.get("error", {})
+                failures.append(
+                    f"{entry.get('spec', '?')}: "
+                    f"[{detail.get('code', 'internal')}] {detail.get('message', '')}"
+                )
+        if failures:
+            error = ClientError(
+                200,
+                f"{len(failures)} of {len(results)} batch item(s) failed: "
+                + "; ".join(failures),
+                code="batch_partial_failure",
+            )
+            error.results = results  # type: ignore[attr-defined]
+            raise error
+        return results  # type: ignore[return-value]
 
     def verify(
         self,

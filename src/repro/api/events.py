@@ -64,6 +64,15 @@ class Event:
     detail: Optional[str] = None
     attempt: Optional[int] = None  # 1-based job execution attempt
 
+    def to_json(self) -> dict:
+        """A JSON-serializable dict, ``None`` fields omitted (wire format)."""
+        document = {"kind": self.kind, "spec": self.spec, "status": self.status}
+        for key in ("stage", "seconds", "index", "total", "detail", "attempt"):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        return document
+
     def describe(self) -> str:
         """One-line human readable rendering."""
         parts = []

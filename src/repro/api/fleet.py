@@ -77,6 +77,7 @@ from typing import Callable, Optional
 
 from repro.api.events import Event, EventCallback
 from repro.api.store import ArtifactStore, TMP_SWEEP_AGE
+from repro.obs import Obs, get_obs
 
 #: planned worker exit codes the supervisor distinguishes from crashes
 EXIT_DRAINED = 0
@@ -107,14 +108,21 @@ class SingleFlight:
         store: ArtifactStore,
         wait_timeout: float = 120.0,
         poll_interval: float = 0.01,
+        obs: Optional[Obs] = None,
     ):
         self.store = store
         self.wait_timeout = wait_timeout
         self.poll_interval = poll_interval
+        self.obs = obs
         #: telemetry: flights led / successfully coalesced / degraded
         self.led = 0
         self.followed = 0
         self.degraded = 0
+
+    def _count(self, outcome: str) -> None:
+        setattr(self, outcome, getattr(self, outcome) + 1)
+        if self.obs is not None:
+            self.obs.flights.inc(outcome=outcome)
 
     def _lock_path(self, digest: str) -> Path:
         return self.store.flight_dir / f"{digest}.flight"
@@ -129,11 +137,11 @@ class SingleFlight:
             return False
         except OSError:
             # an unusable flight dir degrades to uncoalesced computation
-            self.degraded += 1
+            self._count("degraded")
             return True
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"pid": os.getpid(), "at": time.time()}))
-        self.led += 1
+        self._count("led")
         return True
 
     def release(self, digest: str) -> None:
@@ -173,7 +181,7 @@ class SingleFlight:
         while True:
             document = read()
             if document is not None:
-                self.followed += 1
+                self._count("followed")
                 return document
             lock = self._lock_path(digest)
             if not lock.exists():
@@ -181,19 +189,19 @@ class SingleFlight:
                 # write happens *before* the release
                 document = read()
                 if document is not None:
-                    self.followed += 1
+                    self._count("followed")
                 else:
-                    self.degraded += 1
+                    self._count("degraded")
                 return document
             if not self._leader_alive(digest):
                 try:
                     lock.unlink()
                 except OSError:
                     pass
-                self.degraded += 1
+                self._count("degraded")
                 return read()
             if time.monotonic() >= deadline:
-                self.degraded += 1
+                self._count("degraded")
                 return None
             time.sleep(self.poll_interval)
 
@@ -221,6 +229,7 @@ class FleetConfig:
     verbose: bool = False
     lru_size: int = 256  # per-worker hot-artifact tier above the store
     run_dir: Optional[str] = None  # heartbeat directory (default: tempdir)
+    obs: Optional[str] = None  # observability grammar shipped to every worker
 
     def to_json(self) -> dict:
         return {
@@ -238,6 +247,7 @@ class FleetConfig:
             "verbose": self.verbose,
             "lru_size": self.lru_size,
             "run_dir": self.run_dir,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -304,6 +314,7 @@ class FleetSupervisor:
         self._stopping = False
         self._run_dir: Optional[Path] = None
         self._owns_run_dir = False
+        self.obs: Optional[Obs] = None  # built at start() once run_dir exists
 
     # -------------------------------------------------------------- #
     # Logging / events
@@ -367,6 +378,10 @@ class FleetSupervisor:
             "slot": slot,
             "generation": generation,
             "heartbeat": str(heartbeat),
+            # always the *resolved* run dir: workers drop their trace sinks
+            # and metric snapshots here even when the supervisor made a
+            # temporary one
+            "run_dir": str(self._run_dir),
         }
         # -c instead of -m: the package __init__ imports this module, and
         # runpy would warn about re-executing an already-imported module
@@ -393,6 +408,11 @@ class FleetSupervisor:
         else:
             self._run_dir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
             self._owns_run_dir = True
+        obs = get_obs(self.config.obs)
+        if obs is not None:
+            self.obs = obs.reconfigure(
+                dir=obs.dir or str(self._run_dir), service="supervisor"
+            )
         if self.config.store is not None:
             # startup maintenance: orphaned temp files, stale flight locks
             # and stale-code-version entries from previous fleets
@@ -404,6 +424,9 @@ class FleetSupervisor:
         self.workers = [self._spawn(slot, 1) for slot in range(self.config.workers)]
         for worker in self.workers:
             self._emit(worker.slot, worker.generation, "spawn", f"pid={worker.pid}")
+        if self.obs is not None:
+            self.obs.fleet_workers.set(float(self.config.workers))
+            self.obs.write_snapshot()
         self._log(
             f"listening on http://{self.config.host}:{self.port} "
             f"with {self.config.workers} worker(s) "
@@ -425,6 +448,9 @@ class FleetSupervisor:
             self.recycles += 1
         else:
             self.respawns += 1
+        if self.obs is not None:
+            self.obs.fleet_events.inc(kind=status)
+            self.obs.write_snapshot()
         self._log(
             f"worker[{slot}] {status}: {detail} -> respawned as "
             f"pid={worker.pid} gen={generation}"
@@ -461,12 +487,29 @@ class FleetSupervisor:
             else:
                 reason = f"pid={worker.pid} heartbeat stale for {age:.1f}s"
             self.hung_kills += 1
+            if self.obs is not None:
+                self.obs.fleet_events.inc(kind="hung_kill")
             try:
                 worker.process.kill()
                 worker.process.wait(timeout=10)
             except OSError:
                 pass
             self._respawn(slot, "respawn", reason + " (hung, killed)")
+
+    def metrics(self) -> Optional[dict]:
+        """Fleet-wide metric aggregation: merge every process's snapshot.
+
+        Flushes the supervisor's own registry first, then merges all the
+        ``metrics-*.json`` snapshot files in the run dir — every live and
+        dead worker incarnation plus the supervisor itself.  Counters and
+        histogram buckets add exactly; returns ``None`` with obs off.
+        """
+        if self.obs is None:
+            return None
+        from repro.obs import fleet_metrics
+
+        self.obs.write_snapshot()
+        return fleet_metrics(self._run_dir)
 
     def run(self, poll_interval: float = 0.2) -> int:
         """Supervise until SIGTERM/SIGINT, then drain (the CLI loop)."""
@@ -524,6 +567,8 @@ class FleetSupervisor:
                     worker.process.wait(timeout=10)
                 except OSError:
                     pass
+        if self.obs is not None:
+            self.obs.write_snapshot()
         if self._owns_run_dir and self._run_dir is not None:
             import shutil
 
@@ -560,18 +605,27 @@ def worker_main(config: dict) -> int:
     heartbeat = Path(config["heartbeat"])
     interval = float(config.get("heartbeat_interval", 0.5))
 
+    obs = get_obs(config.get("obs"))
+    if obs is not None:
+        # every incarnation writes its own sink/snapshot files in the run
+        # dir; the supervisor merges them into the fleet-wide view
+        obs = obs.reconfigure(
+            dir=obs.dir or config.get("run_dir"), service=f"worker{worker_id}"
+        )
     store = None
     flights = None
     if config.get("store"):
-        store = ArtifactStore(config["store"], lru_size=int(config.get("lru_size", 0)))
-        flights = SingleFlight(store)
+        store = ArtifactStore(
+            config["store"], lru_size=int(config.get("lru_size", 0)), obs=obs
+        )
+        flights = SingleFlight(store, obs=obs)
     injector = None
     if config.get("faults"):
         # every incarnation gets its own deterministic schedule: same seed
         # -> same fleet-wide chaos, but a respawned worker does not replay
         # its predecessor's kill decisions (which would loop forever)
         injector = get_injector(config["faults"]).scoped(f"worker{slot}g{generation}")
-    pipeline = Pipeline(store=store, faults=injector, flights=flights)
+    pipeline = Pipeline(store=store, faults=injector, flights=flights, obs=obs)
 
     drain = threading.Event()
     recycle = threading.Event()
@@ -593,6 +647,7 @@ def worker_main(config: dict) -> int:
         max_requests=config.get("max_requests"),
         on_recycle=recycle.set,
         chaos=injector,
+        obs=obs,
     )
     serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
     serve_thread.start()
@@ -602,6 +657,10 @@ def worker_main(config: dict) -> int:
     exit_code = EXIT_DRAINED
     while True:
         heartbeat.touch()
+        if obs is not None:
+            # the heartbeat doubles as the metrics flush: every beat
+            # publishes a fresh snapshot for the supervisor to merge
+            obs.write_snapshot()
         if drain.is_set():
             break
         if recycle.is_set():
@@ -613,6 +672,10 @@ def worker_main(config: dict) -> int:
     server.service.draining = True
     server.shutdown()
     server.server_close()
+    if obs is not None:
+        # final flush *after* the drain joined the in-flight requests, so
+        # the snapshot on disk covers every request this incarnation served
+        obs.write_snapshot()
     return exit_code
 
 

@@ -57,6 +57,7 @@ from repro.api.events import Event, EventCallback
 from repro.api.faults import FaultsLike, get_injector
 from repro.api.spec import Spec, SpecLike
 from repro.api.store import ArtifactStore, get_store
+from repro.obs import ObsLike, activate, get_obs
 from repro.gates.library import get_library
 from repro.gates.verify import verify_mapped_netlist
 from repro.petri.smcover import compute_sm_components, compute_sm_cover
@@ -134,6 +135,16 @@ class Pipeline:
     stage computations (delay/error sites); when off — the default — the
     hot path pays a single ``is None`` check.
 
+    ``obs`` activates the observability subsystem (:mod:`repro.obs`): an
+    :class:`~repro.obs.Obs` bundle, a grammar string, or ``None`` to
+    consult ``$REPRO_OBS``.  When active, every *computed* stage runs
+    inside a ``stage:<name>`` trace span (nesting under the caller's span,
+    e.g. the worker's HTTP span) with wall/CPU timers fed into the
+    fleet-aggregatable registry, and the resolution counters are mirrored
+    into labelled metric series.  The ad-hoc ``stage_calls``/
+    ``store_hits``/... counters stay untouched either way; when off — the
+    default — each resolution pays a single ``is None`` check.
+
     ``flights`` attaches a :class:`~repro.api.fleet.SingleFlight` coalescer
     (requires a store): after a store miss, concurrent requests for the
     same stage key — threads of this process or sibling fleet workers
@@ -154,6 +165,7 @@ class Pipeline:
         on_event: Optional[EventCallback] = None,
         faults: FaultsLike = None,
         flights=None,
+        obs: ObsLike = None,
     ):
         self._cache: Optional[dict] = {} if cache else None
         self.store: Optional[ArtifactStore] = get_store(store)
@@ -162,6 +174,9 @@ class Pipeline:
         if self.faults is not None and self.store is not None and self.store.faults is None:
             self.store.faults = self.faults
         self.flights = flights
+        self.obs = get_obs(obs)
+        if self.obs is not None and self.store is not None and self.store.obs is None:
+            self.store.obs = self.obs
         #: number of actual stage computations (cache misses), per stage
         self.stage_calls: Counter = Counter()
         #: per-stage on-disk store outcomes (only touched when a store is set)
@@ -196,6 +211,8 @@ class Pipeline:
             except KeyError:
                 pass
             else:
+                if self.obs is not None:
+                    self.obs.stage_resolutions.inc(stage=stage, source="memory")
                 if spec is not None:
                     self._emit(spec, stage, "memory")
                 return value
@@ -203,6 +220,8 @@ class Pipeline:
             value = self._from_document(key, self.store.get(key), artifact_cls)
             if value is not None:
                 self.store_hits[stage] += 1
+                if self.obs is not None:
+                    self.obs.stage_resolutions.inc(stage=stage, source="store")
                 if spec is not None:
                     self._emit(spec, stage, "store")
                 return value
@@ -237,15 +256,24 @@ class Pipeline:
         digest = self.store.digest_of(key)
         if self.flights.acquire(digest):
             try:
+                if self.obs is not None:
+                    with self.obs.tracer.span("flight:leader", stage=stage):
+                        return self._compute_entry(key, compute, spec, artifact_cls)
                 return self._compute_entry(key, compute, spec, artifact_cls)
             finally:
                 self.flights.release(digest)
         start = time.perf_counter()
-        document = self.flights.wait(digest, lambda: self.store.peek(key))
+        if self.obs is not None:
+            with self.obs.tracer.span("flight:wait", stage=stage):
+                document = self.flights.wait(digest, lambda: self.store.peek(key))
+        else:
+            document = self.flights.wait(digest, lambda: self.store.peek(key))
         value = self._from_document(key, document, artifact_cls)
         if value is not None:
             self.coalesced[stage] += 1
             self.store_hits[stage] += 1
+            if self.obs is not None:
+                self.obs.stage_resolutions.inc(stage=stage, source="coalesced")
             if spec is not None:
                 self._emit(spec, stage, "coalesced", seconds=time.perf_counter() - start)
             return value
@@ -255,11 +283,26 @@ class Pipeline:
         """Actually run one stage computation, cache and persist the result."""
         stage = key[0]
         start = time.perf_counter()
+        cpu_start = time.process_time()
         if self.faults is not None:
             # injected latency and/or a retryable InjectedStageError —
             # nothing is cached for a failed stage, so a retry recomputes
             self.faults.stage_enter(stage)
-        value = compute()
+        if self.obs is not None:
+            # the span nests under the caller's current span (e.g. the
+            # worker's HTTP span); `activate` exposes the bundle to layers
+            # without an obs parameter, notably the SAT descent
+            with self.obs.tracer.span(
+                "stage:" + stage, spec=spec.name if spec is not None else ""
+            ), activate(self.obs):
+                value = compute()
+            self.obs.stage_resolutions.inc(stage=stage, source="computed")
+            self.obs.stage_seconds.observe(time.perf_counter() - start, stage=stage)
+            self.obs.stage_cpu_seconds.observe(
+                time.process_time() - cpu_start, stage=stage
+            )
+        else:
+            value = compute()
         if self._cache is not None:
             self._cache[key] = value
         if self.store is not None and artifact_cls is not None:
@@ -611,6 +654,11 @@ class Pipeline:
                 mapping.netlist,
                 max_markings=state_bound,
             )
+            elapsed = time.perf_counter() - start
+            if self.obs is not None and elapsed > 0:
+                # kernel throughput: distinct state codes differentially
+                # simulated per second by the gate-level check
+                self.obs.kernel_codes_per_second.set(report.checked_codes / elapsed)
             return MappedVerificationArtifact(
                 spec_name=spec.name,
                 spec_hash=spec.content_hash,

@@ -61,6 +61,7 @@ from repro.api.events import Event, EventCallback
 from repro.api.faults import FaultsLike, TransientError, get_injector
 from repro.api.spec import Spec, SpecLike
 from repro.api.store import ArtifactStore, get_store
+from repro.obs import ObsLike, get_obs, parse_header
 from repro.synthesis.engine import SynthesisOptions
 
 
@@ -201,6 +202,23 @@ def _strip_report(report: Report) -> Report:
 
 
 _RUNNERS: dict = {}  # dotted-name -> callable (per-process cache)
+_POOL_OBS: dict = {}  # obs grammar text -> Obs (per-process cache)
+
+
+def _pool_obs(text: Optional[str]):
+    """One long-lived Obs per pool process (per config), not per job.
+
+    A pool worker executes many jobs; its registry must accumulate across
+    them so the snapshot file it writes reflects the whole process, exactly
+    like a fleet worker's.
+    """
+    if not text:
+        return None
+    obs = _POOL_OBS.get(text)
+    if obs is None:
+        obs = get_obs(text)
+        _POOL_OBS[text] = obs
+    return obs
 
 
 def _resolve_runner(path: Optional[str]):
@@ -240,6 +258,7 @@ def _execute_job(
     store_spec: Optional[tuple[str, str]],
     faults_text: Optional[str] = None,
     attempt: int = 1,
+    obs_text: Optional[str] = None,
 ) -> Report:
     """Process-pool worker: one job through a fresh store-backed pipeline.
 
@@ -253,6 +272,11 @@ def _execute_job(
     with the job's attempt number as the deterministic token, so "kill the
     worker on attempt 1, spare attempt 2" holds no matter which worker
     process executes which attempt.
+
+    ``obs_text`` carries the parent's observability config the same way;
+    a ``job.payload["trace"]`` header (stamped at submission) parents this
+    worker's ``job:<spec>`` span under the caller's span, so a trace
+    stitches across the pool boundary exactly as it does across HTTP.
     """
     from repro.api.faults import FaultInjector
     from repro.api.pipeline import Pipeline
@@ -264,24 +288,37 @@ def _execute_job(
             attempt, salt=job.spec.content_hash
         )
         injector.kill_worker(scope=job.spec.name, attempt=attempt)
+    obs = _pool_obs(obs_text)
     store = None
     if store_spec is not None:
         store = ArtifactStore(store_spec[0], code_version=store_spec[1], faults=injector)
-    pipeline = Pipeline(store=store, faults=injector)
-    runner = _resolve_runner(job.runner)
-    if runner is not None:
-        return runner(job, pipeline, injector)
-    report = pipeline.run(
-        job.spec,
-        job.options,
-        backend=job.backend,
-        map_technology=job.map_technology,
-        verify=job.verify,
-        verify_mapped=job.verify_mapped,
-        library=job.library,
-        max_markings=job.max_markings,
-    )
-    return _strip_report(report)
+    pipeline = Pipeline(store=store, faults=injector, obs=obs)
+
+    def run() -> Report:
+        runner = _resolve_runner(job.runner)
+        if runner is not None:
+            return runner(job, pipeline, injector)
+        return _strip_report(
+            pipeline.run(
+                job.spec,
+                job.options,
+                backend=job.backend,
+                map_technology=job.map_technology,
+                verify=job.verify,
+                verify_mapped=job.verify_mapped,
+                library=job.library,
+                max_markings=job.max_markings,
+            )
+        )
+
+    if obs is None:
+        return run()
+    parent = parse_header(job.payload.get("trace"))
+    try:
+        with obs.tracer.span("job:" + job.spec.name, parent=parent, attempt=attempt):
+            return run()
+    finally:
+        obs.write_snapshot()
 
 
 class Scheduler:
@@ -316,6 +353,12 @@ class Scheduler:
         injector, a grammar string, or ``None`` to consult
         ``$REPRO_FAULTS``.  Shared with the sequential pipeline and shipped
         to every pool worker.
+    obs:
+        Observability config (:mod:`repro.obs`): an :class:`~repro.obs.Obs`
+        instance, a grammar string, or ``None`` to consult ``$REPRO_OBS``.
+        Job status counters land in its registry; in pool mode the config
+        (and the caller's active trace context, if any) is shipped to every
+        pool worker so job spans stitch under the submitting trace.
     """
 
     def __init__(
@@ -327,6 +370,7 @@ class Scheduler:
         retry: Optional[RetryPolicy] = None,
         timeout: Optional[float] = None,
         faults: FaultsLike = None,
+        obs: ObsLike = None,
     ):
         if jobs is not None and jobs < 0:
             jobs = os.cpu_count() or 1
@@ -336,6 +380,7 @@ class Scheduler:
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout = timeout
         self.faults = get_injector(faults)
+        self.obs = get_obs(obs)
         self._pipeline = pipeline
         #: the JobResult records of the most recent :meth:`run`, including
         #: in-flight results harvested before a fail-fast abort
@@ -346,6 +391,8 @@ class Scheduler:
     # ------------------------------------------------------------------ #
 
     def _emit(self, result_or_job, index: int, total: int, status: str, **kwargs):
+        if self.obs is not None:
+            self.obs.jobs.inc(status=status)
         if self.on_event is None:
             return
         job = result_or_job
@@ -393,7 +440,10 @@ class Scheduler:
         policy = self.retry
         pipeline = self._pipeline
         if pipeline is None:
-            pipeline = Pipeline(store=self.store, on_event=self.on_event, faults=self.faults)
+            pipeline = Pipeline(
+                store=self.store, on_event=self.on_event, faults=self.faults,
+                obs=self.obs,
+            )
         elif self.store is not None and pipeline.store is not self.store:
             # an explicitly requested store wins over (and is attached to)
             # the reused pipeline, as the constructor docstring promises
@@ -470,6 +520,16 @@ class Scheduler:
             else None
         )
         faults_text = self.faults.to_text() if self.faults is not None else None
+        obs_text = (
+            self.obs.to_text(include_service=False) if self.obs is not None else None
+        )
+        if self.obs is not None:
+            context = self.obs.tracer.current()
+            if context is not None:
+                # stamp the submitting span so pool-side job spans stitch
+                # under the caller's trace across the process boundary
+                for job in jobs:
+                    job.payload.setdefault("trace", context.to_header())
 
         attempts = [0] * total
         exposures = [0] * total  # pool-crash incidents the job was part of
@@ -494,7 +554,8 @@ class Scheduler:
                 self._emit(job, index, total, "start")
             try:
                 future = pool.submit(
-                    _execute_job, job, store_spec, faults_text, attempts[index]
+                    _execute_job, job, store_spec, faults_text, attempts[index],
+                    obs_text,
                 )
             except BrokenExecutor:
                 attempts[index] -= 1  # the attempt never started
@@ -558,7 +619,8 @@ class Scheduler:
             solo = ProcessPoolExecutor(max_workers=1)
             try:
                 future = solo.submit(
-                    _execute_job, job, store_spec, faults_text, attempts[index]
+                    _execute_job, job, store_spec, faults_text, attempts[index],
+                    obs_text,
                 )
                 try:
                     report = future.result(timeout=deadline_of(job))

@@ -16,10 +16,13 @@ Endpoints (all JSON)::
     GET  /ready          readiness: probes the artifact store and reports
                          queue depth; 503 when the store is unreachable
     GET  /benchmarks     registered benchmark names
+    GET  /metrics        Prometheus text exposition (the one non-JSON
+                         endpoint; empty families until --obs/REPRO_OBS)
     GET  /cache/stats    pipeline counters + store statistics
     POST /cache/clear    drop the in-memory cache (``{"disk": true}`` also
                          clears the on-disk store)
     POST /synthesize     {"spec": <name or .g text>, "level": 5, ...}
+    POST /synthesize/batch  {"items": [<synthesize bodies>], "jobs": N}
     POST /verify         {"spec": ..., "mapped": bool, ...}
     POST /compare        {"spec": ..., "level": ..., "max_markings": ...}
     POST /export         {"spec": ..., "format": "verilog", ...}
@@ -67,6 +70,7 @@ from repro.api.spec import Spec, SpecError
 from repro.api.store import TMP_SWEEP_AGE, get_store
 from repro.gates.exporters import EXPORT_FORMATS, export_netlist
 from repro.gates.ir import NetlistError
+from repro.obs import ObsLike, TRACE_HEADER, get_obs, parse_header
 from repro.petri.reachability import StateSpaceLimitExceeded
 from repro.statebased.synthesis import StateBasedSynthesisError
 from repro.synthesis.engine import SynthesisError, SynthesisOptions
@@ -171,9 +175,22 @@ class SynthesisService:
         on_recycle: Optional[Callable[[], None]] = None,
         chaos=None,
         ready_ttl: float = 1.0,
+        obs: ObsLike = None,
     ):
+        # resolve obs first (instance / grammar / $REPRO_OBS), falling back
+        # to whatever the caller's pipeline already carries; share one
+        # bundle across service, pipeline and store so the worker's HTTP
+        # span and its stage spans nest in one trace sink
+        resolved_obs = get_obs(obs)
+        if resolved_obs is None and pipeline is not None:
+            resolved_obs = pipeline.obs
+        self.obs = resolved_obs
         if pipeline is None:
-            pipeline = Pipeline(store=store)
+            pipeline = Pipeline(store=store, obs=self.obs)
+        elif self.obs is not None and pipeline.obs is None:
+            pipeline.obs = self.obs
+            if pipeline.store is not None and pipeline.store.obs is None:
+                pipeline.store.obs = self.obs
         self.pipeline = pipeline
         self.max_cached_artifacts = max_cached_artifacts
         self.max_queue = max_queue
@@ -247,6 +264,112 @@ class SynthesisService:
             max_markings=body.get("max_markings"),
         )
         return {"report": report.to_json(), "resolution": self._resolution()}
+
+    def synthesize_batch(self, body: dict) -> dict:
+        """Run many synthesize bodies through one :class:`Scheduler` call.
+
+        ``{"items": [<synthesize bodies>], "jobs": N}`` — with ``jobs > 1``
+        (and a store attached) the items fan out over the process-pool
+        scheduler; otherwise they run sequentially through this worker's
+        shared pipeline.  The response carries one entry per item, in
+        order, each with its own ``ok``/``report``-or-``error`` plus — in
+        sequential mode — the per-item stage resolution (pool items
+        resolve in child processes, so their resolution is ``null``).
+        Item failures are reported in place, never as a batch-wide error.
+        """
+        from repro.api.scheduler import Job, Scheduler
+
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise ValueError("batch body must include a non-empty 'items' list")
+        try:
+            jobs_n = int(body.get("jobs") or 0)
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"'jobs' must be an integer: {error}") from error
+        job_list = []
+        job_positions = []  # job index -> item index
+        parse_failures: dict = {}  # item index -> error entry
+        for position, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ValueError("each batch item must be a JSON object")
+            try:
+                job = Job(
+                    spec=_spec_of(item),
+                    options=self._options(item),
+                    backend=item.get("backend", "structural"),
+                    map_technology=bool(item.get("map", False)),
+                    verify=bool(item.get("verify", False)),
+                    verify_mapped=bool(item.get("verify_mapped", False)),
+                    library=item.get("library"),
+                    max_markings=item.get("max_markings"),
+                )
+            except _CLIENT_ERRORS as error:
+                # a bad item fails in place — the rest of the batch runs
+                parse_failures[position] = {
+                    "spec": str(item.get("spec", ""))[:120],
+                    "ok": False,
+                    "attempts": 0,
+                    "seconds": 0.0,
+                    "resolution": None,
+                    "error": {
+                        "code": _client_error_code(error),
+                        "message": str(error),
+                    },
+                }
+                continue
+            job_list.append(job)
+            job_positions.append(position)
+        # the process pool needs a store the children can reopen by path;
+        # without one the batch degrades to sequential resolution here
+        pool = jobs_n > 1 and len(job_list) > 1 and self.pipeline.store is not None
+        scheduler = Scheduler(
+            jobs=jobs_n if pool else 1,
+            store=self.pipeline.store if pool else None,
+            pipeline=None if pool else self.pipeline,
+            obs=self.obs,
+        )
+        results: list = [None] * len(job_list)
+        resolutions: list = [None] * len(job_list)
+        mark = 0
+        if job_list:
+            for result in scheduler.iter_results(job_list):
+                results[result.index] = result
+                if not pool:
+                    # sequential mode yields right after each job, so the
+                    # stage events since the previous yield belong to this item
+                    events, mark = self._events[mark:], len(self._events)
+                    counts = {"computed": 0, "memory": 0, "store": 0, "coalesced": 0}
+                    stages = []
+                    for event in events:
+                        counts[event.status] = counts.get(event.status, 0) + 1
+                        stages.append({"stage": event.stage, "status": event.status})
+                    resolutions[result.index] = {**counts, "stages": stages}
+        entries: list = [None] * len(items)
+        for position, entry in parse_failures.items():
+            entries[position] = entry
+        for position, result, resolution in zip(job_positions, results, resolutions):
+            entry = {
+                "spec": result.job.spec.name,
+                "ok": result.ok,
+                "attempts": result.attempts,
+                "seconds": round(result.seconds, 6),
+                "resolution": resolution,
+            }
+            if result.ok:
+                entry["report"] = result.report.to_json()
+            else:
+                code = (
+                    _client_error_code(result.error)
+                    if isinstance(result.error, _CLIENT_ERRORS)
+                    else "internal"
+                )
+                entry["error"] = {"code": code, "message": str(result.error)}
+            entries[position] = entry
+        return {
+            "results": entries,
+            "pool": pool,
+            "resolution": self._resolution(),
+        }
 
     def verify(self, body: dict) -> dict:
         spec = _spec_of(body)
@@ -411,6 +534,23 @@ class SynthesisService:
 
         return {"benchmarks": list_benchmarks()}
 
+    def metrics(self, body: Optional[dict] = None) -> dict:
+        """The Prometheus text exposition of this process's registry.
+
+        The handler special-cases the transport (``text/plain`` instead of
+        the JSON every other endpoint speaks).  Without an active obs
+        bundle the scrape answers 200 with a hint comment, so probing
+        ``/metrics`` is always safe.
+        """
+        if self.obs is None:
+            text = (
+                "# repro observability is disabled on this worker\n"
+                "# enable with `repro serve --obs ...` or REPRO_OBS=on\n"
+            )
+        else:
+            text = self.obs.render_metrics()
+        return {"prometheus": text}
+
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
@@ -419,10 +559,12 @@ class SynthesisService:
         "/health": "health",
         "/ready": "ready",
         "/benchmarks": "benchmarks",
+        "/metrics": "metrics",
         "/cache/stats": "cache_stats",
     }
     POST_ROUTES = {
         "/synthesize": "synthesize",
+        "/synthesize/batch": "synthesize_batch",
         "/verify": "verify",
         "/compare": "compare",
         "/export": "export",
@@ -430,9 +572,9 @@ class SynthesisService:
         "/cache/stats": "cache_stats",
     }
     #: endpoints that never touch the pipeline's memo state — answered
-    #: without the lock (and without admission control) so liveness and
-    #: readiness probes survive a long-running synthesis
-    LOCK_FREE = {"health", "ready", "benchmarks"}
+    #: without the lock (and without admission control) so liveness,
+    #: readiness and metrics scrapes survive a long-running synthesis
+    LOCK_FREE = {"health", "ready", "benchmarks", "metrics"}
 
     def _admit(self) -> None:
         """Reserve an admission slot or shed the request immediately."""
@@ -451,6 +593,22 @@ class SynthesisService:
         name = routes.get(path)
         if name is None:
             return None
+        if self.obs is None:
+            return self._dispatch_named(name, body)
+        started = time.perf_counter()
+        try:
+            result = self._dispatch_named(name, body)
+        except BaseException:
+            self.obs.request_errors.inc(endpoint=name)
+            raise
+        finally:
+            self.obs.requests.inc(endpoint=name)
+            self.obs.request_seconds.observe(
+                time.perf_counter() - started, endpoint=name
+            )
+        return result
+
+    def _dispatch_named(self, name: str, body: Optional[dict]):
         if name in self.LOCK_FREE:
             self.requests += 1
             return getattr(self, name)(body)
@@ -533,6 +691,40 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str) -> None:
+        """Plain-text response (the ``/metrics`` exposition transport)."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.service.worker_id is not None:
+            self.send_header("X-Repro-Worker", self.service.worker_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch_traced(self, method: str, body: Optional[dict]):
+        """Dispatch under an ``http:<path>`` span when tracing is active.
+
+        The headers live here (``dispatch`` only sees path + body), so this
+        is where a propagated ``X-Repro-Trace`` context is adopted: the
+        span joins the client's trace and every pipeline stage span nests
+        under it.  Probe GETs without a propagated context stay untraced —
+        readiness polls must not flood the sink.
+        """
+        obs = self.service.obs
+        if obs is None:
+            return self.service.dispatch(method, self.path, body)
+        parent = parse_header(self.headers.get(TRACE_HEADER))
+        if parent is None and method != "POST":
+            return self.service.dispatch(method, self.path, body)
+        with obs.tracer.span(
+            "http:" + self.path,
+            parent=parent,
+            method=method,
+            worker=self.service.worker_id or "",
+        ):
+            return self.service.dispatch(method, self.path, body)
+
     def _handle(self, method: str) -> None:
         body: Optional[dict] = None
         if method == "POST":
@@ -551,7 +743,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
         try:
-            result = self.service.dispatch(method, self.path, body)
+            result = self._dispatch_traced(method, body)
         except ServerOverloadedError as error:
             self._send(
                 503,
@@ -588,6 +780,9 @@ class _Handler(BaseHTTPRequestHandler):
                 404,
                 _error_body("not_found", f"unknown endpoint {method} {self.path}"),
             )
+            return
+        if method == "GET" and self.path == "/metrics":
+            self._send_text(200, result["prometheus"])
             return
         if self.path == "/ready" and result.get("ready") is False:
             # readiness failure travels as 503 so load balancers drain us
@@ -645,6 +840,7 @@ def create_server(
     on_recycle=None,
     chaos=None,
     ready_ttl: float = 1.0,
+    obs: ObsLike = None,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-serve (but not yet serving) HTTP server.
 
@@ -664,6 +860,7 @@ def create_server(
         on_recycle=on_recycle,
         chaos=chaos,
         ready_ttl=ready_ttl,
+        obs=obs,
     )
     handler = type("_BoundHandler", (_Handler,), {"service": service})
     server_cls = type("_BoundServer", (FleetHTTPServer,), {"reuse_port": reuse_port})
@@ -680,6 +877,7 @@ def run_server(
     verbose: bool = False,
     max_queue: int = 8,
     request_timeout: Optional[float] = None,
+    obs: ObsLike = None,
 ) -> int:
     """Bind, announce, and serve until interrupted (the CLI's serve loop)."""
     store = get_store(store)  # accept a path like every other entry point
@@ -701,6 +899,7 @@ def run_server(
         verbose=verbose,
         max_queue=max_queue,
         request_timeout=request_timeout,
+        obs=obs,
     )
     bound_host, bound_port = server.server_address[:2]
     print(

@@ -116,6 +116,12 @@ class ArtifactStore:
         Optional :class:`~repro.api.faults.FaultInjector` driving the
         ``store.read``/``store.write``/``store.corrupt`` injection points
         (``None`` — the default — costs one attribute check per call).
+    obs:
+        Optional :class:`~repro.obs.Obs` bundle; when set, reads, writes
+        and quarantines additionally feed the fleet-aggregatable metrics
+        registry (``repro_store_reads_total`` by outcome, ...).  Same
+        zero-overhead-when-off discipline as ``faults``; the owning
+        pipeline usually attaches this after construction.
     lru_size:
         Hot tier: keep up to this many artifact documents in a bounded
         in-memory LRU keyed on the content digest, so repeated reads of a
@@ -131,6 +137,7 @@ class ArtifactStore:
         fsync: Optional[bool] = None,
         faults=None,
         lru_size: int = 0,
+        obs=None,
     ):
         self.root = Path(root).expanduser() if root is not None else default_store_path()
         self.code_version = code_version
@@ -138,6 +145,7 @@ class ArtifactStore:
             fsync = bool(os.environ.get(FSYNC_ENV_VAR))
         self.fsync = fsync
         self.faults = faults
+        self.obs = obs
         #: age threshold for the orphaned-tempfile sweep in :meth:`stats`
         self.tmp_sweep_age = TMP_SWEEP_AGE
         #: read/write counters of THIS handle (per-process introspection)
@@ -214,6 +222,8 @@ class ArtifactStore:
         hot = self._lru_get(digest)
         if hot is not None:
             self.hits += 1
+            if self.obs is not None:
+                self.obs.store_reads.inc(outcome="lru_hit")
             return hot
         path = self.path_of(digest)
         try:
@@ -224,9 +234,13 @@ class ArtifactStore:
         except json.JSONDecodeError:
             self.quarantine(path, "undecodable JSON")
             self.misses += 1
+            if self.obs is not None:
+                self.obs.store_reads.inc(outcome="miss")
             return None
         except OSError:
             self.misses += 1
+            if self.obs is not None:
+                self.obs.store_reads.inc(outcome="miss")
             return None
         if (
             not isinstance(envelope, dict)
@@ -237,8 +251,12 @@ class ArtifactStore:
             # at this path is damage or tampering, not a stale entry
             self.quarantine(path, "invalid envelope")
             self.misses += 1
+            if self.obs is not None:
+                self.obs.store_reads.inc(outcome="miss")
             return None
         self.hits += 1
+        if self.obs is not None:
+            self.obs.store_reads.inc(outcome="hit")
         self._lru_insert(digest, envelope["artifact"])
         return envelope["artifact"]
 
@@ -281,6 +299,8 @@ class ArtifactStore:
         except OSError:
             return False
         self.quarantined += 1
+        if self.obs is not None:
+            self.obs.store_quarantined.inc()
         record = {
             "reason": reason,
             "source": str(path),
@@ -344,6 +364,8 @@ class ArtifactStore:
                 pass
             raise
         self.writes += 1
+        if self.obs is not None:
+            self.obs.store_writes.inc()
         if text.endswith("}"):
             # a fault-corrupted (truncated) write must not land in the hot
             # tier: the read path's quarantine logic is what it exercises
@@ -440,6 +462,9 @@ class ArtifactStore:
                 for path in self.quarantine_dir.glob("*.json")
                 if not path.name.endswith(".reason.json")
             )
+        flight_locks = 0
+        if self.flight_dir.is_dir():
+            flight_locks = sum(1 for _ in self.flight_dir.glob("*.flight"))
         return {
             "root": str(self.root),
             "code_version": self.code_version,
@@ -450,6 +475,7 @@ class ArtifactStore:
             "tmp_files": tmp_files,
             "tmp_swept": tmp_removed,
             "quarantined_entries": quarantined,
+            "flight_locks": flight_locks,
             "session": {
                 "hits": self.hits,
                 "misses": self.misses,

@@ -449,7 +449,15 @@ class PysatSolver:
         self._solver = Solver(name=engine)
         self._num_vars = num_vars
         self._model: dict[int, bool] = {}
-        self.stats = {"conflicts": 0, "decisions": 0}
+        # the same key set as CDCLSolver.stats, so instrumentation reads a
+        # uniform surface; pysat fills in what its accum_stats() exposes
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
 
     @property
     def num_vars(self) -> int:
@@ -478,6 +486,13 @@ class PysatSolver:
         result = self._solver.solve(assumptions=list(assumptions))
         if result:
             self._model = {abs(l): l > 0 for l in self._solver.get_model() or ()}
+        try:  # pragma: no cover - depends on the optional extra
+            accumulated = self._solver.accum_stats() or {}
+            for key in ("conflicts", "decisions", "propagations", "restarts"):
+                if key in accumulated:
+                    self.stats[key] = int(accumulated[key])
+        except Exception:  # noqa: BLE001 - stats are best-effort telemetry
+            pass
         return bool(result)
 
     def value_of(self, var: int) -> Optional[bool]:

@@ -29,8 +29,11 @@ reports the structural baseline at the strongest level inside the space.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.obs import current_obs
 
 from repro.boolean.interning import mask_of_tuple
 from repro.sat.encode import (
@@ -93,6 +96,26 @@ class ExactSynthesisResult:
     circuit: Circuit
     regions: SignalRegions
     statistics: dict = field(default_factory=dict)
+
+
+#: solver work counters surfaced into the ``repro_sat_total`` metric
+_SOLVER_WORK = ("conflicts", "propagations", "decisions", "restarts", "learned")
+
+
+def _observe_phase(obs, phase: str, solver, started: float) -> None:
+    """Feed one descent phase's wall time and solver work into the registry.
+
+    Each phase runs on a *fresh* solver, so its ``stats`` dict is exactly
+    this phase's work — no delta bookkeeping needed.
+    """
+    if obs is None:
+        return
+    obs.sat_phase_seconds.observe(time.perf_counter() - started, phase=phase)
+    stats = getattr(solver, "stats", None) or {}
+    for kind in _SOLVER_WORK:
+        amount = stats.get(kind, 0)
+        if amount:
+            obs.sat_work.inc(float(amount), kind=kind)
 
 
 def _fresh_solver(encoding: SignalEncoding, seed: int, prefer: Optional[str]):
@@ -173,50 +196,67 @@ def minimize_problem(
     weighted_items = [
         (var, weight) for var, weight in zip(encoding.select_vars, weights)
     ]
+    obs = current_obs()
+
+    def _span(phase: str):
+        if obs is None:
+            return nullcontext()
+        return obs.tracer.span(
+            "sat:" + phase, signal=problem.signal, kind=problem.kind
+        )
 
     # phase 1: minimum cube count
-    solver = _fresh_solver(encoding, seed, prefer)
-    if solver.solve() is not True:
-        raise ExactSynthesisError(
-            f"{problem.signal}/{problem.kind}: no monotone cover exists"
-        )
-    first = len(encoding.selection_of_model(solver.model()))
-    gates = _descend(solver, encoding, unit_items, first)
+    phase_started = time.perf_counter()
+    with _span("cubes"):
+        solver = _fresh_solver(encoding, seed, prefer)
+        if solver.solve() is not True:
+            raise ExactSynthesisError(
+                f"{problem.signal}/{problem.kind}: no monotone cover exists"
+            )
+        first = len(encoding.selection_of_model(solver.model()))
+        gates = _descend(solver, encoding, unit_items, first)
     conflicts = getattr(solver, "stats", {}).get("conflicts", 0)
+    _observe_phase(obs, "cubes", solver, phase_started)
 
     # phase 2: minimum literal count at that cube count
-    solver = _fresh_solver(encoding, seed, prefer)
-    gate_outs = _add_counter_to(solver, unit_items, gates + 1)
-    solver.add_clause([-gate_outs[gates]])
-    if solver.solve() is not True:  # pragma: no cover - phase 1 proved SAT
-        raise ExactSynthesisError(
-            f"{problem.signal}/{problem.kind}: minimum-gate bound lost"
+    phase_started = time.perf_counter()
+    with _span("literals"):
+        solver = _fresh_solver(encoding, seed, prefer)
+        gate_outs = _add_counter_to(solver, unit_items, gates + 1)
+        solver.add_clause([-gate_outs[gates]])
+        if solver.solve() is not True:  # pragma: no cover - phase 1 proved SAT
+            raise ExactSynthesisError(
+                f"{problem.signal}/{problem.kind}: minimum-gate bound lost"
+            )
+        model = solver.model()
+        first = sum(
+            weights[i] for i in encoding.selection_of_model(model)
         )
-    model = solver.model()
-    first = sum(
-        weights[i] for i in encoding.selection_of_model(model)
-    )
-    literals = _descend(solver, encoding, weighted_items, first)
+        literals = _descend(solver, encoding, weighted_items, first)
     conflicts += getattr(solver, "stats", {}).get("conflicts", 0)
+    _observe_phase(obs, "literals", solver, phase_started)
 
     # phase 3: enumerate every (gates, literals) minimum
-    solver = _fresh_solver(encoding, seed, prefer)
-    gate_outs = _add_counter_to(solver, unit_items, gates + 1)
-    solver.add_clause([-gate_outs[gates]])
-    lit_outs = _add_counter_to(solver, weighted_items, literals + 1)
-    solver.add_clause([-lit_outs[literals]])
-    solutions: list[list[tuple[int, int]]] = []
-    truncated = False
-    while solver.solve() is True:
-        model = solver.model()
-        selection = encoding.selection_of_model(model)
-        solutions.append(sorted(encoding.candidates[i] for i in selection))
-        if len(solutions) >= max_solutions:
-            truncated = True
-            break
-        if not solver.add_clause([-encoding.select_vars[i] for i in selection]):
-            break
+    phase_started = time.perf_counter()
+    with _span("enumerate"):
+        solver = _fresh_solver(encoding, seed, prefer)
+        gate_outs = _add_counter_to(solver, unit_items, gates + 1)
+        solver.add_clause([-gate_outs[gates]])
+        lit_outs = _add_counter_to(solver, weighted_items, literals + 1)
+        solver.add_clause([-lit_outs[literals]])
+        solutions: list[list[tuple[int, int]]] = []
+        truncated = False
+        while solver.solve() is True:
+            model = solver.model()
+            selection = encoding.selection_of_model(model)
+            solutions.append(sorted(encoding.candidates[i] for i in selection))
+            if len(solutions) >= max_solutions:
+                truncated = True
+                break
+            if not solver.add_clause([-encoding.select_vars[i] for i in selection]):
+                break
     conflicts += getattr(solver, "stats", {}).get("conflicts", 0)
+    _observe_phase(obs, "enumerate", solver, phase_started)
     if not solutions:  # pragma: no cover - phases 1-2 proved feasibility
         raise ExactSynthesisError(
             f"{problem.signal}/{problem.kind}: enumeration found no model"

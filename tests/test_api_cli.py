@@ -274,6 +274,73 @@ class TestCacheCommand:
         assert code == 2
         assert "no pattern" in err
 
+    def test_stats_against_a_live_server_shows_fleet_counters(
+        self, capsys, tmp_path
+    ):
+        """``cache stats --url`` surfaces hot-LRU, flight and quarantine
+        telemetry from a running server instead of opening a local store."""
+        import threading
+
+        from repro.api import Pipeline
+        from repro.api.client import Client
+        from repro.api.fleet import SingleFlight
+        from repro.api.server import create_server
+        from repro.api.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store", lru_size=16)
+        # cache=False: repeat reads go to the store, exercising its hot LRU
+        pipeline = Pipeline(store=store, flights=SingleFlight(store), cache=False)
+        server = create_server(port=0, pipeline=pipeline)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            client = Client(url)
+            client.synthesize("sequencer", assume_csc=True)
+            client.synthesize("sequencer", assume_csc=True)  # hot-LRU hits
+
+            code, out, _ = run_cli(capsys, "cache", "stats", "--url", url)
+            assert code == 0
+            assert "hot-LRU" in out
+            assert "hot LRU:" in out
+            assert "flights:" in out
+            assert "led" in out and "coalesced" in out and "degraded" in out
+
+            code, out, _ = run_cli(capsys, "cache", "stats", "--url", url, "--json")
+            assert code == 0
+            payload = json.loads(out)
+            # one lead per computed stage on the cold request, none coalesced
+            assert payload["flights"]["led"] >= 1
+            assert payload["flights"]["followed"] == 0
+            assert payload["flights"]["degraded"] == 0
+            session = payload["store"]["session"]
+            assert session["lru_hits"] > 0
+            assert payload["store"]["flight_locks"] == 0
+            assert "quarantined_entries" in payload["store"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_stats_url_without_a_store_degrades_gracefully(self, capsys):
+        import threading
+
+        from repro.api import Pipeline
+        from repro.api.server import create_server
+
+        server = create_server(port=0, store=None, pipeline=Pipeline())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            code, out, _ = run_cli(capsys, "cache", "stats", "--url", url)
+            assert code == 0
+            assert "no store attached" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
     def test_prewarm_unknown_glob_is_a_usage_error(self, capsys, tmp_path):
         code, _, err = run_cli(
             capsys,

@@ -196,3 +196,142 @@ class TestErrors:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+def _post_json(port: int, path: str, body: dict) -> tuple[int, dict]:
+    """Raw POST for asserting on the server-side response document."""
+    import json
+
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestBatchEndpoint:
+    def test_sequential_batch_preserves_order_and_resolutions(self, served):
+        _, client = served
+        names = ["sequencer", "handshake_seq", "sequencer"]
+        results = client.synthesize_many(names, assume_csc=True)
+        assert [r.raw["spec"] for r in results] == names
+        assert all(r.report.literals > 0 for r in results)
+        # sequential mode slices the per-item stage resolution: the first
+        # sequencer computes, the repeat resolves from this worker's memory
+        assert results[0].resolution["computed"] > 0
+        assert not results[0].cached
+        assert results[2].resolution["computed"] == 0
+        assert results[2].resolution["memory"] > 0
+        assert results[2].cached
+
+    def test_batch_item_failure_is_reported_in_place(self, served):
+        server, _ = served
+        port = server.server_address[1]
+        status, payload = _post_json(
+            port,
+            "/synthesize/batch",
+            {
+                "items": [
+                    {"spec": "sequencer", "assume_csc": True},
+                    {"spec": "no_such_benchmark_anywhere"},
+                ]
+            },
+        )
+        assert status == 200  # item failures never become a batch-wide error
+        good, bad = payload["results"]
+        assert good["ok"] and good["report"]["synthesize"]["literals"] > 0
+        assert not bad["ok"] and "report" not in bad
+        assert bad["error"]["code"] != "internal"
+        assert "no_such_benchmark_anywhere" in bad["error"]["message"]
+
+    def test_batch_validates_its_body(self, served):
+        server, _ = served
+        port = server.server_address[1]
+        for body in ({}, {"items": []}, {"items": "sequencer"}, {"items": [7]}):
+            status, payload = _post_json(port, "/synthesize/batch", body)
+            assert status == 400
+            assert payload["error"]["code"] == "bad_request"
+        status, payload = _post_json(
+            port, "/synthesize/batch", {"items": [{"spec": "sequencer"}], "jobs": "x"}
+        )
+        assert status == 400
+
+    def test_pool_mode_fans_out_over_the_scheduler(self, served):
+        server, _ = served
+        port = server.server_address[1]
+        status, payload = _post_json(
+            port,
+            "/synthesize/batch",
+            {
+                "items": [
+                    {"spec": "sequencer", "assume_csc": True},
+                    {"spec": "handshake_seq", "assume_csc": True},
+                ],
+                "jobs": 2,
+            },
+        )
+        assert status == 200
+        assert payload["pool"] is True
+        assert all(entry["ok"] for entry in payload["results"])
+        # pool items resolve in child processes: no per-item resolution
+        assert all(entry["resolution"] is None for entry in payload["results"])
+        # ...but the children warmed the shared store, so a follow-up
+        # sequential request resolves from disk without recomputing
+        status, payload = _post_json(
+            port, "/synthesize", {"spec": "sequencer", "assume_csc": True}
+        )
+        assert status == 200
+        assert payload["resolution"]["computed"] == 0
+
+    def test_pool_without_a_store_degrades_to_sequential(self):
+        server = create_server(port=0, store=None, pipeline=Pipeline())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            status, payload = _post_json(
+                port,
+                "/synthesize/batch",
+                {
+                    "items": [
+                        {"spec": "fig1", "assume_csc": True},
+                        {"spec": "sequencer", "assume_csc": True},
+                    ],
+                    "jobs": 4,
+                },
+            )
+            assert status == 200
+            assert payload["pool"] is False
+            assert all(e["ok"] and e["resolution"] for e in payload["results"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_synthesize_many_pool_results_are_typed(self, served):
+        _, client = served
+        results = client.synthesize_many(
+            ["sequencer", "handshake_seq"], assume_csc=True, jobs=2
+        )
+        assert [type(r).__name__ for r in results] == ["SynthesisResult"] * 2
+        assert all(r.report.literals > 0 for r in results)
+        assert all(r.resolution == {} for r in results)  # pool: unknown, not zero
+
+    def test_synthesize_many_partial_failure_carries_the_successes(self, served):
+        _, client = served
+        with pytest.raises(ClientError) as excinfo:
+            client.synthesize_many(
+                ["sequencer", "no_such_benchmark_anywhere"], assume_csc=True
+            )
+        error = excinfo.value
+        assert error.code == "batch_partial_failure"
+        assert "no_such_benchmark_anywhere" in str(error)
+        assert len(error.results) == 2
+        assert error.results[0].report.literals > 0
+        assert error.results[1] is None

@@ -479,6 +479,31 @@ class TestParseRetryAfter:
         assert parse_retry_after(None) is None
         assert parse_retry_after("") is None
 
+    def test_malformed_dates_degrade_to_none(self):
+        # shapes real proxies emit when misconfigured: almost-dates must
+        # degrade to None (caller falls back to its own backoff), never raise
+        for value in (
+            "Fri, 99 Zan 2026 12:00:00 GMT",
+            "Friday the 8th",
+            "5 seconds",
+            "2026-08-08T12:00:00Z",  # ISO 8601 is not an HTTP-date
+            "   ",
+        ):
+            assert parse_retry_after(value) is None, value
+
+    def test_naive_http_date_is_treated_as_utc(self):
+        # some origins drop the zone; RFC 9110 says GMT is implied
+        naive = formatdate(time.time() + 5, usegmt=True).replace(" GMT", "")
+        parsed = parse_retry_after(naive)
+        assert parsed is not None and 2.0 < parsed <= 6.0
+        stale = formatdate(time.time() - 3600, usegmt=True).replace(" GMT", "")
+        assert parse_retry_after(stale) == 0.0
+
+    def test_distant_past_and_nonsense_numbers(self):
+        assert parse_retry_after("Thu, 01 Jan 1970 00:00:00 GMT") == 0.0
+        assert parse_retry_after("-0.0") == 0.0
+        assert parse_retry_after("1e3") == 1000.0  # float grammar is fine
+
 
 @pytest.fixture()
 def overloaded_server(tmp_path):
@@ -508,6 +533,113 @@ class TestClientHardening:
         assert excinfo.value.code == "overloaded"
         assert time.monotonic() - started < 1.0
         assert overloaded_server.service.shed == 1  # a single attempt went out
+
+    def test_http_date_retry_after_exhausts_the_budget_mid_backoff(self):
+        """A far-future HTTP-date hint must not be slept on past the budget."""
+        attempts = [0]
+
+        class _DatedShedder(BaseHTTPRequestHandler):
+            def do_POST(self):  # noqa: N802 (stdlib naming)
+                attempts[0] += 1
+                self.rfile.read(int(self.headers.get("Content-Length") or 0))
+                body = json.dumps(
+                    {
+                        "error": {
+                            "code": "overloaded",
+                            "message": "shedding",
+                            "retryable": True,
+                        }
+                    }
+                ).encode()
+                self.send_response(503)
+                # 30 s out: any attempt's backoff would blow a 0.5 s budget
+                self.send_header(
+                    "Retry-After", formatdate(time.time() + 30, usegmt=True)
+                )
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # noqa: A002 (stdlib signature)
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _DatedShedder)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = Client(
+                f"http://127.0.0.1:{server.server_address[1]}",
+                retries=5,
+                backoff=0.01,
+                retry_budget=0.5,
+            )
+            started = time.monotonic()
+            with pytest.raises(ClientError) as excinfo:
+                client.synthesize("sequencer")
+            elapsed = time.monotonic() - started
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert excinfo.value.code == "overloaded"
+        assert excinfo.value.retry_after == pytest.approx(30.0, abs=2.0)
+        assert attempts[0] == 1  # the hinted delay never fit the budget
+        assert elapsed < 2.0  # the client did not honour the 30 s hint
+
+    def test_past_http_date_defers_to_exponential_backoff(self):
+        """A stale date clamps to 0: the client's own backoff still applies."""
+        attempts = [0]
+
+        class _StaleShedder(BaseHTTPRequestHandler):
+            def do_POST(self):  # noqa: N802 (stdlib naming)
+                attempts[0] += 1
+                self.rfile.read(int(self.headers.get("Content-Length") or 0))
+                if attempts[0] >= 3:
+                    body = json.dumps({"report": None, "ok": True}).encode()
+                    self.send_response(200)
+                else:
+                    body = json.dumps(
+                        {
+                            "error": {
+                                "code": "overloaded",
+                                "message": "shedding",
+                                "retryable": True,
+                            }
+                        }
+                    ).encode()
+                    self.send_response(503)
+                    self.send_header(
+                        "Retry-After", formatdate(time.time() - 60, usegmt=True)
+                    )
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # noqa: A002 (stdlib signature)
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _StaleShedder)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = Client(
+                f"http://127.0.0.1:{server.server_address[1]}",
+                retries=5,
+                backoff=0.01,
+                retry_budget=5.0,
+            )
+            started = time.monotonic()
+            payload = client._request("POST", "/anything", {})
+            elapsed = time.monotonic() - started
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert payload["ok"] is True
+        assert attempts[0] == 3  # two shed attempts, then success
+        assert elapsed < 2.0  # max(backoff, 0.0) kept the waits tiny
 
     def test_breaker_opens_after_consecutive_transport_failures(self):
         probe = socket.socket()
